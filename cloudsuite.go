@@ -1,0 +1,143 @@
+// Package cloudsuite is a from-scratch Go reproduction of "Clearing the
+// Clouds: A Study of Emerging Scale-out Workloads on Modern Hardware"
+// (Ferdman et al., ASPLOS 2012).
+//
+// It bundles three things:
+//
+//   - a cycle-approximate model of the paper's measured machine (a
+//     Xeon X5670-class server: 4-wide out-of-order cores, a three-level
+//     cache hierarchy with directory coherence and hardware
+//     prefetchers, SMT, and DDR3 channels) with a performance-counter
+//     layer standing in for VTune;
+//
+//   - the CloudSuite scale-out workloads (Data Serving, MapReduce,
+//     Media Streaming, SAT Solver, Web Frontend, Web Search) and the
+//     traditional comparison benchmarks (SPECint and PARSEC proxies,
+//     SPECweb09, TPC-C, TPC-E, Web Backend), implemented as real
+//     algorithms over a simulated address space, with an operating-
+//     system model supplying the kernel side;
+//
+//   - the paper's measurement methodology and experiments: execution-
+//     time breakdowns, instruction-miss characterization, IPC/MLP with
+//     and without SMT, LLC capacity sweeps via cache-polluting threads,
+//     prefetcher ablations, two-socket sharing analysis, and off-chip
+//     bandwidth accounting (Figures 1-7 plus Table 1).
+//
+// This package is the public facade: it re-exports the measurement API
+// from the internal packages. See README.md for a tour, DESIGN.md for
+// the system inventory, and EXPERIMENTS.md for paper-vs-measured
+// results. The cmd/cloudsuite and cmd/figures binaries and the
+// examples/ directory show typical usage:
+//
+//	b, _ := cloudsuite.FindBench("Web Search")
+//	m, err := cloudsuite.MeasureBench(b, cloudsuite.DefaultOptions())
+//	fmt.Println(m.IPC(), m.MLP())
+package cloudsuite
+
+import (
+	"cloudsuite/internal/core"
+	"cloudsuite/internal/workloads"
+)
+
+// Re-exported types: the measurement API.
+type (
+	// Machine is a simulated server configuration.
+	Machine = core.Machine
+	// Options configures one measurement run.
+	Options = core.Options
+	// Measurement is the counter outcome of one run.
+	Measurement = core.Measurement
+	// Bench is one benchmark of the suite.
+	Bench = core.Bench
+	// Entry is one bar position of the paper's figures.
+	Entry = core.Entry
+	// EntryResult aggregates measurements of an Entry's members.
+	EntryResult = core.EntryResult
+	// Workload is the interface new workloads implement.
+	Workload = workloads.Workload
+	// TableRow is one row of the Table-1 listing.
+	TableRow = core.TableRow
+	// Claim is one of the paper's findings checked by Validate.
+	Claim = core.Claim
+
+	// Implication row types.
+	ImplicationRow = core.ImplicationRow
+	IPrefRow       = core.IPrefRow
+
+	// Figure row types.
+	BreakdownRow = core.BreakdownRow
+	InstrMissRow = core.InstrMissRow
+	IPCMLPRow    = core.IPCMLPRow
+	LLCSeries    = core.LLCSeries
+	LLCPoint     = core.LLCPoint
+	PrefetchRow  = core.PrefetchRow
+	SharingRow   = core.SharingRow
+	BandwidthRow = core.BandwidthRow
+)
+
+// Machine configurations.
+var (
+	// XeonX5670 returns the Table-1 machine.
+	XeonX5670 = core.XeonX5670
+	// TwoSocket returns the dual-socket sharing-measurement machine.
+	TwoSocket = core.TwoSocket
+	// Table1 lists a machine's architectural parameters.
+	Table1 = core.Table1
+)
+
+// Suite access.
+var (
+	// ScaleOut returns the six CloudSuite benchmarks.
+	ScaleOut = core.ScaleOut
+	// Traditional returns the comparison benchmarks.
+	Traditional = core.Traditional
+	// AllBenches returns the full suite.
+	AllBenches = core.AllBenches
+	// FindBench looks a benchmark up by name.
+	FindBench = core.FindBench
+	// FigureEntries returns the bar positions of the paper's figures.
+	FigureEntries = core.FigureEntries
+	// ScaleOutEntries returns the six scale-out bar positions.
+	ScaleOutEntries = core.ScaleOutEntries
+)
+
+// Measurement methodology.
+var (
+	// DefaultOptions is the paper's baseline setup (4 cores, warm-up,
+	// measured window).
+	DefaultOptions = core.DefaultOptions
+	// Measure runs one workload instance.
+	Measure = core.Measure
+	// MeasureBench creates and measures a fresh instance of a benchmark.
+	MeasureBench = core.MeasureBench
+	// MeasureEntry measures every member of an Entry.
+	MeasureEntry = core.MeasureEntry
+	// Validate checks the paper's headline claims against fresh runs.
+	Validate = core.Validate
+	// AllHold reports whether every claim holds.
+	AllHold = core.AllHold
+)
+
+// Implications experiments (Section 4's architectural proposals).
+var (
+	// ScaleOutProcessor is the paper's proposed scale-out-optimized CMP.
+	ScaleOutProcessor = core.ScaleOutProcessor
+	// AreaUnits is the coarse die-area proxy used by Implications.
+	AreaUnits = core.AreaUnits
+	// Implications compares computational density across designs.
+	Implications = core.Implications
+	// InstructionPrefetchStudy compares instruction-prefetch front-ends.
+	InstructionPrefetchStudy = core.InstructionPrefetchStudy
+)
+
+// Experiment drivers, one per paper figure.
+var (
+	Figure1       = core.Figure1
+	Figure2       = core.Figure2
+	Figure3       = core.Figure3
+	Figure4       = core.Figure4
+	Figure4Groups = core.Figure4Groups
+	Figure5       = core.Figure5
+	Figure6       = core.Figure6
+	Figure7       = core.Figure7
+)

@@ -1,0 +1,84 @@
+// Command cloudsuite runs one benchmark of the suite on the simulated
+// Xeon X5670 and prints its performance-counter characterization, the
+// equivalent of one VTune measurement run from the paper.
+//
+// Usage:
+//
+//	cloudsuite -list
+//	cloudsuite -bench "Web Search" [-cores 4] [-smt] [-split] [-pollute 6]
+//	           [-warmup 400000] [-measure 120000] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cloudsuite/internal/core"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list benchmarks and exit")
+		bench   = flag.String("bench", "Web Search", "benchmark name")
+		cores   = flag.Int("cores", 4, "workload cores")
+		smt     = flag.Bool("smt", false, "two threads per core")
+		split   = flag.Bool("split", false, "split cores across two sockets")
+		pollute = flag.Int("pollute", 0, "LLC MB occupied by polluter threads")
+		warmup  = flag.Int64("warmup", 400_000, "per-thread warm-up instructions")
+		measure = flag.Int64("measure", 120_000, "per-thread measured instructions")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range core.AllBenches() {
+			fmt.Printf("%-28s %s\n", b.Name, b.Class)
+		}
+		return
+	}
+
+	b, ok := core.FindBench(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q (use -list)\n", *bench)
+		os.Exit(1)
+	}
+	o := core.Options{
+		Cores: *cores, SMT: *smt, SplitSockets: *split,
+		PolluteBytes: uint64(*pollute) << 20,
+		WarmupInsts:  *warmup, MeasureInsts: *measure, Seed: *seed,
+	}
+	m, err := core.MeasureBench(b, o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	c := &m.Counters
+	fmt.Printf("benchmark        %s\n", m.BenchName)
+	fmt.Printf("cycles           %d (window)\n", m.Cycles)
+	fmt.Printf("instructions     %d user, %d OS (%.1f%% OS)\n",
+		c.CommitUser, c.CommitOS, 100*float64(c.CommitOS)/float64(c.Commits()))
+	fmt.Printf("IPC              %.3f total, %.3f user\n", c.IPC(), c.UserIPC())
+	fmt.Printf("MLP              %.2f\n", c.MLP())
+	fmt.Printf("cycle breakdown  commit %.1f%% (user %.1f%%, OS %.1f%%), stall %.1f%% (user %.1f%%, OS %.1f%%)\n",
+		100-100*c.StallFrac(),
+		100*float64(c.CommitCyclesUser)/float64(c.Cycles),
+		100*float64(c.CommitCyclesOS)/float64(c.Cycles),
+		100*c.StallFrac(),
+		100*float64(c.StallCyclesUser)/float64(c.Cycles),
+		100*float64(c.StallCyclesOS)/float64(c.Cycles))
+	fmt.Printf("memory cycles    %.1f%%\n", 100*c.MemCycleFrac())
+	fmt.Printf("L1-I MPKI        %.1f user, %.1f OS\n", c.L1IMPKIUser(), c.L1IMPKIOS())
+	fmt.Printf("L2-I MPKI        %.1f user, %.1f OS\n", c.L2IMPKIUser(), c.L2IMPKIOS())
+	fmt.Printf("L2 hit ratio     %.1f%%\n", 100*c.L2HitRatio())
+	fmt.Printf("LLC hit ratio    %.1f%% (%d accesses)\n", 100*c.LLCHitRatio(), c.LLCAccess)
+	fmt.Printf("RW-shared hits   %.2f%% app, %.2f%% OS (of LLC data refs)\n",
+		100*c.SharedRWFracUser(), 100*c.SharedRWFracOS())
+	fmt.Printf("off-chip BW      %.1f%% utilization (%d KB read, %d KB written)\n",
+		100*c.DRAMUtilization(), (c.OffchipReadUser+c.OffchipReadOS)>>10, c.OffchipWriteback>>10)
+	fmt.Printf("branches         %.2f%% mispredicted\n", 100*c.MispredictRate())
+	fmt.Printf("prefetch         %d issued, %d useful, %d evicted unused\n",
+		c.PrefIssued, c.PrefUseful, c.PrefEvicted)
+	fmt.Printf("L2 demand        %d accesses, %d hits\n", c.L2Access, c.L2Hit)
+}

@@ -1,0 +1,268 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section on the simulated machine and prints them as text
+// tables (the EXPERIMENTS.md data source).
+//
+// Usage:
+//
+//	figures [-only 1,3,7] [-quick] [-seed 1]
+//
+// -quick shrinks the per-run instruction budgets ~4x for a fast pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cloudsuite/internal/core"
+	"cloudsuite/internal/report"
+)
+
+func main() {
+	var (
+		only  = flag.String("only", "", "comma-separated figure numbers (default: all, 0 = Table 1, i = implications)")
+		quick = flag.Bool("quick", false, "reduced instruction budgets")
+		check = flag.Bool("check", false, "validate the paper's claims and exit")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	o := core.DefaultOptions()
+	o.Seed = *seed
+	if *quick {
+		o.WarmupInsts, o.MeasureInsts = 150_000, 40_000
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, f := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+	sel := func(n string) bool { return len(want) == 0 || want[n] }
+
+	if *check {
+		runCheck(o)
+		return
+	}
+
+	entries := core.FigureEntries()
+
+	if sel("0") {
+		table1()
+	}
+	if sel("1") {
+		figure1(entries, o)
+	}
+	if sel("2") {
+		figure2(entries, o)
+	}
+	if sel("3") {
+		figure3(entries, o)
+	}
+	if sel("4") {
+		figure4(o)
+	}
+	if sel("5") {
+		figure5(entries, o)
+	}
+	if sel("6") {
+		figure6(entries, o)
+	}
+	if sel("7") {
+		figure7(entries, o)
+	}
+	if want["i"] {
+		implications(o)
+	}
+}
+
+func runCheck(o core.Options) {
+	claims, err := core.Validate(o)
+	if err != nil {
+		fail(err)
+	}
+	t := report.Table{Title: "Reproduction check", Header: []string{"claim", "verdict", "measured"}}
+	ok := true
+	for _, c := range claims {
+		verdict := "HOLDS"
+		if !c.Holds {
+			verdict = "FAILS"
+			ok = false
+		}
+		t.Add(c.ID+" "+c.Statement, verdict, c.Detail)
+	}
+	t.Render(os.Stdout)
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func implications(o core.Options) {
+	so := core.ScaleOutEntries()
+	rows, err := core.Implications(so, o)
+	if err != nil {
+		fail(err)
+	}
+	t := report.Table{
+		Title:  "Implications: conventional vs scale-out-optimized CMP",
+		Header: []string{"Workload", "IPC(conv)", "IPC(opt,SMT)", "chip(conv)", "chip(opt)", "dens(conv)", "dens(opt)", "gain", "pJ/op(conv)", "pJ/op(opt)"},
+	}
+	for _, r := range rows {
+		t.Add(r.Label, report.F2(r.ConvIPC), report.F2(r.OptIPC),
+			report.F1(r.ConvChipThroughput), report.F1(r.OptChipThroughput),
+			report.F2(r.ConvDensity), report.F2(r.OptDensity),
+			fmt.Sprintf("%.1fx", r.OptDensity/r.ConvDensity),
+			report.F1(r.ConvPJPerInstr), report.F1(r.OptPJPerInstr))
+	}
+	t.Render(os.Stdout)
+
+	irows, err := core.InstructionPrefetchStudy(so, o)
+	if err != nil {
+		fail(err)
+	}
+	it := report.Table{
+		Title:  "Implications: instruction-prefetcher study (L1-I MPKI / IPC)",
+		Header: []string{"Workload", "none", "next-line", "stream", "IPC none", "IPC next", "IPC stream"},
+	}
+	for _, r := range irows {
+		it.Add(r.Label, report.F1(r.MPKINone), report.F1(r.MPKINextLine), report.F1(r.MPKIStream),
+			report.F2(r.IPCNone), report.F2(r.IPCNextLine), report.F2(r.IPCStream))
+	}
+	it.Render(os.Stdout)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func table1() {
+	t := report.Table{Title: "Table 1. Architectural parameters", Header: []string{"Parameter", "Value"}}
+	for _, r := range core.Table1(core.XeonX5670()) {
+		t.Add(r.Parameter, r.Value)
+	}
+	t.Render(os.Stdout)
+}
+
+func figure1(entries []core.Entry, o core.Options) {
+	rows, err := core.Figure1(entries, o)
+	if err != nil {
+		fail(err)
+	}
+	t := report.Table{
+		Title:  "Figure 1. Execution-time breakdown and memory cycles",
+		Header: []string{"Workload", "Commit(App)", "Commit(OS)", "Stall(App)", "Stall(OS)", "Memory"},
+	}
+	for _, r := range rows {
+		t.Add(r.Label, report.Pct(r.CommittingUser), report.Pct(r.CommittingOS),
+			report.Pct(r.StalledUser), report.Pct(r.StalledOS), report.Pct(r.Memory))
+	}
+	t.Render(os.Stdout)
+}
+
+func figure2(entries []core.Entry, o core.Options) {
+	rows, err := core.Figure2(entries, o)
+	if err != nil {
+		fail(err)
+	}
+	t := report.Table{
+		Title:  "Figure 2. L1-I and L2 instruction misses per k-instruction",
+		Header: []string{"Workload", "L1-I(App)", "L1-I(OS)", "L2(App)", "L2(OS)"},
+	}
+	for _, r := range rows {
+		osL1, osL2 := report.F1(r.L1IOS), report.F1(r.L2IOS)
+		if !r.ShowOS {
+			osL1, osL2 = "-", "-"
+		}
+		t.Add(r.Label, report.F1(r.L1IApp), osL1, report.F1(r.L2IApp), osL2)
+	}
+	t.Render(os.Stdout)
+}
+
+func figure3(entries []core.Entry, o core.Options) {
+	rows, err := core.Figure3(entries, o)
+	if err != nil {
+		fail(err)
+	}
+	t := report.Table{
+		Title:  "Figure 3. Application IPC (max 4) and MLP, baseline vs SMT",
+		Header: []string{"Workload", "IPC", "IPC(SMT)", "IPC rng", "MLP", "MLP(SMT)", "MLP rng", "SMT gain"},
+	}
+	for _, r := range rows {
+		rngIPC, rngMLP := "-", "-"
+		if r.MembersCounted > 1 {
+			rngIPC = fmt.Sprintf("%.2f-%.2f", r.IPCLo, r.IPCHi)
+			rngMLP = fmt.Sprintf("%.2f-%.2f", r.MLPLo, r.MLPHi)
+		}
+		t.Add(r.Label, report.F2(r.IPCBase), report.F2(r.IPCSMT), rngIPC,
+			report.F2(r.MLPBase), report.F2(r.MLPSMT), rngMLP,
+			fmt.Sprintf("%.0f%%", 100*(r.SMTSpeedup-1)))
+	}
+	t.Render(os.Stdout)
+}
+
+func figure4(o core.Options) {
+	series, err := core.Figure4(core.Figure4Groups(), []int{4, 5, 6, 7, 8, 9, 10, 11}, o)
+	if err != nil {
+		fail(err)
+	}
+	t := report.Table{
+		Title:  "Figure 4. User-IPC vs LLC capacity (normalized to 12MB baseline)",
+		Header: []string{"Series", "4MB", "5MB", "6MB", "7MB", "8MB", "9MB", "10MB", "11MB"},
+	}
+	for _, s := range series {
+		cells := []string{s.Label}
+		for _, p := range s.Points {
+			cells = append(cells, report.F2(p.Normalized))
+		}
+		t.Add(cells...)
+	}
+	t.Render(os.Stdout)
+}
+
+func figure5(entries []core.Entry, o core.Options) {
+	rows, err := core.Figure5(entries, o)
+	if err != nil {
+		fail(err)
+	}
+	t := report.Table{
+		Title:  "Figure 5. L2 hit ratio with prefetchers enabled/disabled",
+		Header: []string{"Workload", "Baseline", "Adj-line off", "HW pref off"},
+	}
+	for _, r := range rows {
+		t.Add(r.Label, report.Pct(r.Baseline), report.Pct(r.AdjacentDisabled), report.Pct(r.HWDisabled))
+	}
+	t.Render(os.Stdout)
+}
+
+func figure6(entries []core.Entry, o core.Options) {
+	rows, err := core.Figure6(entries, o)
+	if err != nil {
+		fail(err)
+	}
+	t := report.Table{
+		Title:  "Figure 6. Read-write shared LLC hits (normalized to LLC data refs)",
+		Header: []string{"Workload", "Application", "OS"},
+	}
+	for _, r := range rows {
+		t.Add(r.Label, report.Pct(r.App), report.Pct(r.OS))
+	}
+	t.Render(os.Stdout)
+}
+
+func figure7(entries []core.Entry, o core.Options) {
+	rows, err := core.Figure7(entries, o)
+	if err != nil {
+		fail(err)
+	}
+	t := report.Table{
+		Title:  "Figure 7. Off-chip memory bandwidth utilization",
+		Header: []string{"Workload", "Application", "OS", "Total"},
+	}
+	for _, r := range rows {
+		t.Add(r.Label, report.Pct(r.App), report.Pct(r.OS), report.Pct(r.App+r.OS))
+	}
+	t.Render(os.Stdout)
+}

@@ -1,0 +1,182 @@
+// Command tracedump inspects a workload's dynamic instruction stream
+// without running the timing model: operation mix, code and data
+// footprints, dependence-distance histogram, branch statistics, and
+// kernel share. It answers "what does this workload look like to the
+// micro-architecture" directly from the trace layer — handy when
+// developing new workload models.
+//
+// Usage:
+//
+//	tracedump -bench "Data Serving" [-insts 500000] [-threads 1] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cloudsuite/internal/core"
+	"cloudsuite/internal/report"
+	"cloudsuite/internal/trace"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "Data Serving", "benchmark name")
+		insts   = flag.Int("insts", 500_000, "instructions to inspect per thread")
+		threads = flag.Int("threads", 1, "software threads")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	b, ok := core.FindBench(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+		os.Exit(1)
+	}
+	w := b.New()
+	gens := w.Start(*threads, *seed)
+	defer func() {
+		for _, g := range gens {
+			g.Close()
+		}
+	}()
+
+	var s stats
+	buf := make([]trace.Inst, 8192)
+	for _, g := range gens {
+		remaining := *insts
+		for remaining > 0 {
+			n := g.Next(buf)
+			if n == 0 {
+				break
+			}
+			if n > remaining {
+				n = remaining
+			}
+			s.add(buf[:n])
+			remaining -= n
+		}
+	}
+	s.render(w.Name())
+}
+
+type stats struct {
+	total, loads, stores, branches, taken, fp, mul, kernel int
+	chases                                                 int
+	codeLines                                              map[uint64]bool
+	kernCodeLines                                          map[uint64]bool
+	dataLines                                              map[uint64]bool
+	depHist                                                [8]int // distance buckets
+	sizes                                                  map[uint8]int
+}
+
+func (s *stats) add(insts []trace.Inst) {
+	if s.codeLines == nil {
+		s.codeLines = map[uint64]bool{}
+		s.kernCodeLines = map[uint64]bool{}
+		s.dataLines = map[uint64]bool{}
+		s.sizes = map[uint8]int{}
+	}
+	for i := range insts {
+		in := &insts[i]
+		s.total++
+		if in.Kernel {
+			s.kernel++
+			s.kernCodeLines[in.PC>>6] = true
+		} else {
+			s.codeLines[in.PC>>6] = true
+		}
+		switch in.Op {
+		case trace.OpLoad:
+			s.loads++
+			s.dataLines[in.Addr>>6] = true
+			s.sizes[in.Size]++
+			if in.AcquiresDep {
+				s.chases++
+			}
+		case trace.OpStore:
+			s.stores++
+			s.dataLines[in.Addr>>6] = true
+		case trace.OpBranch:
+			s.branches++
+			if in.Taken {
+				s.taken++
+			}
+		case trace.OpFP:
+			s.fp++
+		case trace.OpMul:
+			s.mul++
+		}
+		if d := in.DepA; d > 0 {
+			s.depHist[bucket(d)]++
+		}
+		if d := in.DepB; d > 0 {
+			s.depHist[bucket(d)]++
+		}
+	}
+}
+
+func bucket(d int32) int {
+	switch {
+	case d <= 1:
+		return 0
+	case d <= 2:
+		return 1
+	case d <= 4:
+		return 2
+	case d <= 8:
+		return 3
+	case d <= 16:
+		return 4
+	case d <= 48:
+		return 5
+	case d <= 128:
+		return 6
+	default:
+		return 7
+	}
+}
+
+func (s *stats) render(name string) {
+	pct := func(n int) string { return fmt.Sprintf("%.1f%%", 100*float64(n)/float64(s.total)) }
+	t := report.Table{Title: "Trace profile: " + name, Header: []string{"metric", "value"}}
+	t.Add("instructions", fmt.Sprint(s.total))
+	t.Add("loads", pct(s.loads))
+	t.Add("stores", pct(s.stores))
+	t.Add("branches", pct(s.branches))
+	t.Add("  taken", fmt.Sprintf("%.1f%% of branches", 100*float64(s.taken)/float64(max(1, s.branches))))
+	t.Add("floating point", pct(s.fp))
+	t.Add("kernel mode", pct(s.kernel))
+	t.Add("pointer-chasing loads", fmt.Sprintf("%.1f%% of loads", 100*float64(s.chases)/float64(max(1, s.loads))))
+	t.Add("user code footprint", kb(len(s.codeLines)*64))
+	t.Add("kernel code footprint", kb(len(s.kernCodeLines)*64))
+	t.Add("data footprint touched", kb(len(s.dataLines)*64))
+	t.Render(os.Stdout)
+
+	labels := []string{"1", "2", "3-4", "5-8", "9-16", "17-48", "49-128", ">128"}
+	var depTotal int
+	for _, n := range s.depHist {
+		depTotal += n
+	}
+	h := report.Table{Title: "Dependence-distance histogram", Header: []string{"distance", "share", ""}}
+	for i, n := range s.depHist {
+		frac := float64(n) / float64(max(1, depTotal))
+		h.Add(labels[i], fmt.Sprintf("%.1f%%", 100*frac), report.Bar(frac, 0.5, 30))
+	}
+	h.Render(os.Stdout)
+}
+
+func kb(bytes int) string {
+	if bytes >= 1<<20 {
+		return fmt.Sprintf("%.1fMB", float64(bytes)/(1<<20))
+	}
+	return fmt.Sprintf("%dKB", bytes>>10)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,127 @@
+// customworkload shows how to implement a new workload against the
+// framework and characterize it like the paper characterizes
+// CloudSuite. The example builds a small in-memory message queue
+// (produce/consume over sharded ring buffers with a network front-end)
+// and prints its micro-architectural profile next to Web Search's.
+//
+//	go run ./examples/customworkload
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"cloudsuite"
+	"cloudsuite/internal/addrspace"
+	"cloudsuite/internal/oskern"
+	"cloudsuite/internal/trace"
+	"cloudsuite/internal/workloads"
+)
+
+// queueWorkload is a minimal scale-out-style service: producers append
+// messages to sharded in-memory rings, consumers drain them, and every
+// request arrives and is acknowledged over the simulated network.
+type queueWorkload struct {
+	kern   *oskern.Kernel
+	heap   *addrspace.Heap
+	bank   *workloads.CodeBank
+	fnProd *trace.Func
+	fnCons *trace.Func
+	rings  []addrspace.Array // sharded message rings
+	cursor []uint64
+}
+
+func newQueueWorkload() *queueWorkload {
+	code := trace.NewCodeLayout(addrspace.UserCodeBase, addrspace.UserCodeSize)
+	q := &queueWorkload{
+		kern: oskern.New(oskern.DefaultConfig()),
+		heap: addrspace.NewUserHeap(),
+		bank: workloads.NewCodeBank(code, "broker", 80, 700),
+	}
+	q.fnProd = code.Func("produce", 500)
+	q.fnCons = code.Func("consume", 450)
+	// 16 shards x 4MB of messages: the data working set exceeds the LLC.
+	for i := 0; i < 16; i++ {
+		q.rings = append(q.rings, addrspace.NewArray(q.heap, 16<<10, 256))
+		q.cursor = append(q.cursor, 0)
+	}
+	return q
+}
+
+func (q *queueWorkload) Name() string           { return "Message Queue" }
+func (q *queueWorkload) Class() workloads.Class { return workloads.ScaleOut }
+func (q *queueWorkload) Start(n int, seed int64) []*trace.ChanGen {
+	gens := make([]*trace.ChanGen, n)
+	for i := 0; i < n; i++ {
+		tid := i
+		cfg := workloads.EmitterConfigFor(seed+int64(i)*997, 0.08)
+		gens[i] = trace.Start(cfg, func(e *trace.Emitter) { q.serve(e, tid, seed+int64(tid)) })
+	}
+	return gens
+}
+
+func (q *queueWorkload) serve(e *trace.Emitter, tid int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	conn := q.kern.OpenConnOn(tid)
+	stack := workloads.StackOf(tid)
+	buf := q.heap.AllocLines(4096)
+	reqs := uint64(0)
+	for {
+		q.kern.Recv(e, conn, buf, 256)
+		q.bank.Exec(e, reqs*2654435761+uint64(tid), 14, 2200, stack, 3)
+		shard := rng.Intn(len(q.rings))
+		ring := q.rings[shard]
+		slot := q.cursor[shard] % ring.Len
+		if rng.Intn(2) == 0 { // produce
+			e.InFunc(q.fnProd, func() {
+				for off := uint64(0); off < 256; off += 64 {
+					v := e.Load(buf+off%4096, 64, trace.NoVal, false)
+					e.Store(ring.At(slot)+off, 64, v, trace.NoVal)
+				}
+				q.cursor[shard]++
+			})
+		} else { // consume
+			e.InFunc(q.fnCons, func() {
+				var v trace.Val = trace.NoVal
+				for off := uint64(0); off < 256; off += 64 {
+					v = e.Load(ring.At(slot)+off, 64, v, false)
+					e.Store(buf+off%4096, 64, v, trace.NoVal)
+				}
+			})
+		}
+		q.kern.Send(e, conn, buf, 256)
+		reqs++
+		if reqs%256 == 0 {
+			q.kern.SchedTick(e, tid)
+		}
+	}
+}
+
+func profile(name string, m *cloudsuite.Measurement) {
+	fmt.Printf("%-16s IPC %.2f  MLP %.2f  stall %4.0f%%  L1-I MPKI %5.1f  OS %4.1f%%  BW %4.1f%%\n",
+		name, m.IPC(), m.MLP(), 100*m.StallFrac(), m.L1IMPKIUser(),
+		100*float64(m.CommitOS)/float64(m.Commits()), 100*m.DRAMUtilization())
+}
+
+func main() {
+	opts := cloudsuite.DefaultOptions()
+	opts.WarmupInsts = 250_000
+	opts.MeasureInsts = 60_000
+
+	// Measure the custom workload through the same methodology.
+	mq, err := cloudsuite.Measure(newQueueWorkload(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// And a CloudSuite member for comparison.
+	ws, _ := cloudsuite.FindBench("Web Search")
+	ref, err := cloudsuite.MeasureBench(ws, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("custom workload characterized with the paper's methodology:")
+	profile(mq.BenchName, mq)
+	profile(ref.BenchName, ref)
+}

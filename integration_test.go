@@ -1,0 +1,185 @@
+package cloudsuite_test
+
+// Integration tests: each test asserts one of the paper's headline
+// findings end-to-end — workload models, OS model, simulator, and
+// counters together. Budgets are small; the assertions are qualitative
+// (directions and separations), matching the reproduction contract in
+// DESIGN.md.
+
+import (
+	"testing"
+
+	"cloudsuite"
+)
+
+func testOptions() cloudsuite.Options {
+	o := cloudsuite.DefaultOptions()
+	o.Cores = 2
+	o.WarmupInsts = 100_000
+	o.MeasureInsts = 25_000
+	return o
+}
+
+func measure(t *testing.T, name string, o cloudsuite.Options) *cloudsuite.Measurement {
+	t.Helper()
+	b, ok := cloudsuite.FindBench(name)
+	if !ok {
+		t.Fatalf("bench %q not found", name)
+	}
+	m, err := cloudsuite.MeasureBench(b, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// Section 4 / Figure 1: scale-out workloads stall the majority of their
+// cycles, dominated by memory, while cpu-intensive desktop and parallel
+// benchmarks do not.
+func TestClaimScaleOutStallsOnMemory(t *testing.T) {
+	o := testOptions()
+	for _, name := range []string{"Data Serving", "Web Search", "SAT Solver"} {
+		m := measure(t, name, o)
+		if m.StallFrac() < 0.45 {
+			t.Errorf("%s stalls only %.0f%% of cycles", name, 100*m.StallFrac())
+		}
+		if m.MemCycleFrac() < 0.4 {
+			t.Errorf("%s memory cycles only %.0f%%", name, 100*m.MemCycleFrac())
+		}
+	}
+	cpu := measure(t, "PARSEC (blackscholes)", o)
+	if cpu.StallFrac() > 0.5 {
+		t.Errorf("cpu-intensive PARSEC stalls %.0f%%, want < 50%%", 100*cpu.StallFrac())
+	}
+}
+
+// Section 4.1 / Figure 2: scale-out instruction working sets far exceed
+// the L1-I, unlike desktop/parallel benchmarks.
+func TestClaimInstructionWorkingSets(t *testing.T) {
+	o := testOptions()
+	ws := measure(t, "Web Search", o)
+	bs := measure(t, "PARSEC (blackscholes)", o)
+	if ws.L1IMPKIUser() < 15 {
+		t.Errorf("Web Search L1-I MPKI %.1f, want large", ws.L1IMPKIUser())
+	}
+	if bs.L1IMPKIUser() > 2 {
+		t.Errorf("blackscholes L1-I MPKI %.1f, want ~0", bs.L1IMPKIUser())
+	}
+	if ws.L1IMPKIUser() < bs.L1IMPKIUser()*5 {
+		t.Error("scale-out/desktop instruction-miss separation lost")
+	}
+	if ws.L2IMPKIUser() < 2 {
+		t.Errorf("Web Search L2 instruction misses %.1f, want substantial", ws.L2IMPKIUser())
+	}
+}
+
+// Section 4.2 / Figure 3: scale-out IPC is modest (well under the
+// 4-wide peak) and MLP is low; cpu-intensive suites reach high IPC.
+func TestClaimLowILPAndMLP(t *testing.T) {
+	o := testOptions()
+	for _, name := range []string{"Data Serving", "Web Search", "Web Frontend"} {
+		m := measure(t, name, o)
+		if ipc := m.IPC(); ipc > 1.6 {
+			t.Errorf("%s IPC %.2f, scale-out should be well under 2", name, ipc)
+		}
+		if mlp := m.MLP(); mlp > 3.2 {
+			t.Errorf("%s MLP %.2f, scale-out should be low", name, mlp)
+		}
+	}
+	cpu := measure(t, "SPECint (bitops)", o)
+	if cpu.IPC() < 1.8 {
+		t.Errorf("cpu-bound SPECint IPC %.2f, want ~2+", cpu.IPC())
+	}
+}
+
+// Section 4.2 / Figure 3: SMT delivers large IPC gains for the
+// independent-request scale-out workloads.
+func TestClaimSMTGains(t *testing.T) {
+	o := testOptions()
+	base := measure(t, "Data Serving", o)
+	oSMT := o
+	oSMT.SMT = true
+	smt := measure(t, "Data Serving", oSMT)
+	gain := smt.IPC() / base.IPC()
+	if gain < 1.25 {
+		t.Errorf("SMT gain %.2fx, paper reports 39-69%%", gain)
+	}
+	if smt.MLP() < base.MLP() {
+		t.Errorf("SMT reduced MLP: %.2f -> %.2f", base.MLP(), smt.MLP())
+	}
+}
+
+// Section 4.3 / Figure 4: scale-out performance is insensitive to LLC
+// capacity above a few MB, while mcf keeps improving.
+func TestClaimLLCInsensitivity(t *testing.T) {
+	// The paper's 4-core configuration: polluter occupancy is calibrated
+	// against four competing workload cores (Section 3.1).
+	o := testOptions()
+	o.Cores = 4
+	check := func(name string) (full, at6 float64) {
+		base := measure(t, name, o)
+		op := o
+		op.PolluteBytes = 6 << 20
+		pol := measure(t, name, op)
+		return base.UserIPC(), pol.UserIPC()
+	}
+	wsFull, ws6 := check("Web Search")
+	mcfFull, mcf6 := check("SPECint (mcf)")
+	wsLoss := 1 - ws6/wsFull
+	mcfLoss := 1 - mcf6/mcfFull
+	if wsLoss > 0.25 {
+		t.Errorf("Web Search lost %.0f%% at 6MB; scale-out should be flat", 100*wsLoss)
+	}
+	if mcfLoss < wsLoss {
+		t.Errorf("mcf (%.2f) should lose more than scale-out (%.2f)", mcfLoss, wsLoss)
+	}
+}
+
+// Section 4.4 / Figure 6: scale-out application sharing is minimal;
+// OLTP shares actively.
+func TestClaimReadWriteSharing(t *testing.T) {
+	o := testOptions()
+	o.SplitSockets = true
+	so := measure(t, "MapReduce", o)
+	oltp := measure(t, "TPC-C", o)
+	if so.SharedRWFracUser() > 0.01 {
+		t.Errorf("MapReduce app sharing %.2f%%, want ~0", 100*so.SharedRWFracUser())
+	}
+	if oltp.SharedRWFracUser() < so.SharedRWFracUser()+0.005 {
+		t.Errorf("TPC-C sharing (%.3f) should clearly exceed MapReduce (%.3f)",
+			oltp.SharedRWFracUser(), so.SharedRWFracUser())
+	}
+}
+
+// Section 4.4 / Figure 7: off-chip bandwidth is over-provisioned;
+// Media Streaming is the heaviest scale-out consumer.
+func TestClaimBandwidthOverProvisioning(t *testing.T) {
+	o := testOptions()
+	ms := measure(t, "Media Streaming", o)
+	ws := measure(t, "Web Search", o)
+	ds := measure(t, "Data Serving", o)
+	if ms.DRAMUtilization() < 0.85*ws.DRAMUtilization() || ms.DRAMUtilization() < 0.85*ds.DRAMUtilization() {
+		t.Errorf("Media Streaming (%.2f) should be among the top scale-out bandwidth consumers (ws %.2f, ds %.2f)",
+			ms.DRAMUtilization(), ws.DRAMUtilization(), ds.DRAMUtilization())
+	}
+	if ds.DRAMUtilization() > 0.35 {
+		t.Errorf("Data Serving uses %.0f%% of bandwidth; should be far from saturation",
+			100*ds.DRAMUtilization())
+	}
+}
+
+// Methodology: the TwoSocket configuration exposes sharing as remote
+// hits without changing the workload.
+func TestClaimSocketSplitMethodology(t *testing.T) {
+	o := testOptions()
+	same := measure(t, "TPC-C", o)
+	split := o
+	split.SplitSockets = true
+	two := measure(t, "TPC-C", split)
+	if two.RemoteSocketHit == 0 {
+		t.Error("split-socket run shows no remote hits")
+	}
+	if same.RemoteSocketHit != 0 {
+		t.Error("single-socket run cannot have remote hits")
+	}
+}

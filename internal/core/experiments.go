@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+)
+
+// This file implements the paper's evaluation: one driver per figure.
+// Each driver runs the required configurations and returns plain row
+// structs that the report package renders and the benchmark harness
+// prints. DESIGN.md section 3 maps each driver to its figure.
+
+// BreakdownRow is one bar of Figure 1: the commit-time execution
+// breakdown plus the overlapped memory-cycles bar.
+type BreakdownRow struct {
+	Label string
+	// Fractions of total cycles.
+	CommittingUser float64
+	CommittingOS   float64
+	StalledUser    float64
+	StalledOS      float64
+	// Memory is plotted side-by-side (it overlaps commit cycles).
+	Memory float64
+}
+
+// Figure1 measures the execution-time breakdown of the given entries.
+func Figure1(entries []Entry, o Options) ([]BreakdownRow, error) {
+	rows := make([]BreakdownRow, 0, len(entries))
+	for _, e := range entries {
+		r, err := MeasureEntry(e, o)
+		if err != nil {
+			return nil, err
+		}
+		cu, _, _ := r.Stat(func(m *Measurement) float64 {
+			return float64(m.CommitCyclesUser) / float64(m.Cycles)
+		})
+		co, _, _ := r.Stat(func(m *Measurement) float64 {
+			return float64(m.CommitCyclesOS) / float64(m.Cycles)
+		})
+		su, _, _ := r.Stat(func(m *Measurement) float64 {
+			return float64(m.StallCyclesUser) / float64(m.Cycles)
+		})
+		so, _, _ := r.Stat(func(m *Measurement) float64 {
+			return float64(m.StallCyclesOS) / float64(m.Cycles)
+		})
+		mem, _, _ := r.Stat(func(m *Measurement) float64 { return m.MemCycleFrac() })
+		rows = append(rows, BreakdownRow{
+			Label: e.Label, CommittingUser: cu, CommittingOS: co,
+			StalledUser: su, StalledOS: so, Memory: mem,
+		})
+	}
+	return rows, nil
+}
+
+// InstrMissRow is one bar group of Figure 2: L1-I and L2 instruction
+// misses per kilo-instruction, split into application and OS.
+type InstrMissRow struct {
+	Label  string
+	L1IApp float64
+	L1IOS  float64
+	L2IApp float64
+	L2IOS  float64
+	ShowOS bool
+}
+
+// Figure2 measures instruction-cache miss rates.
+func Figure2(entries []Entry, o Options) ([]InstrMissRow, error) {
+	rows := make([]InstrMissRow, 0, len(entries))
+	for _, e := range entries {
+		r, err := MeasureEntry(e, o)
+		if err != nil {
+			return nil, err
+		}
+		l1a, _, _ := r.Stat(func(m *Measurement) float64 { return m.L1IMPKIUser() })
+		l1o, _, _ := r.Stat(func(m *Measurement) float64 { return m.L1IMPKIOS() })
+		l2a, _, _ := r.Stat(func(m *Measurement) float64 { return m.L2IMPKIUser() })
+		l2o, _, _ := r.Stat(func(m *Measurement) float64 { return m.L2IMPKIOS() })
+		rows = append(rows, InstrMissRow{
+			Label: e.Label, L1IApp: l1a, L1IOS: l1o, L2IApp: l2a, L2IOS: l2o,
+			ShowOS: e.ShowOS,
+		})
+	}
+	return rows, nil
+}
+
+// IPCMLPRow is one bar group of Figure 3: IPC and MLP with and without
+// SMT, with min/max range over group members.
+type IPCMLPRow struct {
+	Label                  string
+	IPCBase, IPCSMT        float64
+	IPCLo, IPCHi           float64
+	MLPBase, MLPSMT        float64
+	MLPLo, MLPHi           float64
+	SMTSpeedup             float64
+	MLPGainFromSMT         float64
+	MembersCounted         int
+	BaseCyclesPerInstr4Wid float64
+}
+
+// Figure3 measures IPC and MLP for baseline and SMT configurations.
+func Figure3(entries []Entry, o Options) ([]IPCMLPRow, error) {
+	rows := make([]IPCMLPRow, 0, len(entries))
+	for _, e := range entries {
+		base, err := MeasureEntry(e, o)
+		if err != nil {
+			return nil, err
+		}
+		oSMT := o
+		oSMT.SMT = true
+		smt, err := MeasureEntry(e, oSMT)
+		if err != nil {
+			return nil, err
+		}
+		ipc, ipcLo, ipcHi := base.Stat(func(m *Measurement) float64 { return m.IPC() })
+		mlp, mlpLo, mlpHi := base.Stat(func(m *Measurement) float64 { return m.MLP() })
+		ipcS, _, _ := smt.Stat(func(m *Measurement) float64 { return m.IPC() })
+		mlpS, _, _ := smt.Stat(func(m *Measurement) float64 { return m.MLP() })
+		row := IPCMLPRow{
+			Label:   e.Label,
+			IPCBase: ipc, IPCSMT: ipcS, IPCLo: ipcLo, IPCHi: ipcHi,
+			MLPBase: mlp, MLPSMT: mlpS, MLPLo: mlpLo, MLPHi: mlpHi,
+			MembersCounted: len(e.Members),
+		}
+		if ipc > 0 {
+			row.SMTSpeedup = ipcS / ipc
+		}
+		if mlp > 0 {
+			row.MLPGainFromSMT = mlpS / mlp
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// LLCPoint is one point of Figure 4: user-IPC at an effective LLC
+// capacity, normalized to the full-capacity baseline.
+type LLCPoint struct {
+	CacheMB    int
+	Normalized float64
+}
+
+// LLCSeries is one curve of Figure 4.
+type LLCSeries struct {
+	Label  string
+	Points []LLCPoint
+}
+
+// Figure4 sweeps effective LLC capacity using cache-polluting threads
+// (Section 3.1's methodology) and reports user-IPC normalized to the
+// unpolluted baseline for each entry group.
+func Figure4(groups map[string][]Entry, capacitiesMB []int, o Options) ([]LLCSeries, error) {
+	llcMB := XeonX5670().Mem.LLC.SizeBytes >> 20
+	var out []LLCSeries
+	for label, entries := range groups {
+		series := LLCSeries{Label: label}
+		// Baseline at full capacity (no polluters).
+		baseline, err := averageUserIPC(entries, o)
+		if err != nil {
+			return nil, err
+		}
+		for _, mb := range capacitiesMB {
+			opt := o
+			if mb < llcMB {
+				opt.PolluteBytes = uint64(llcMB-mb) << 20
+			}
+			v, err := averageUserIPC(entries, opt)
+			if err != nil {
+				return nil, err
+			}
+			norm := 0.0
+			if baseline > 0 {
+				norm = v / baseline
+			}
+			series.Points = append(series.Points, LLCPoint{CacheMB: mb, Normalized: norm})
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+func averageUserIPC(entries []Entry, o Options) (float64, error) {
+	var sum float64
+	var n int
+	for _, e := range entries {
+		r, err := MeasureEntry(e, o)
+		if err != nil {
+			return 0, err
+		}
+		v, _, _ := r.Stat(func(m *Measurement) float64 { return m.UserIPC() })
+		sum += v
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("core: empty entry group")
+	}
+	return sum / float64(n), nil
+}
+
+// Figure4Groups returns the paper's three curves: the scale-out
+// average, the traditional server average, and SPECint mcf.
+func Figure4Groups() map[string][]Entry {
+	all := FigureEntries()
+	groups := map[string][]Entry{
+		"Scale-out": all[:6],
+	}
+	var server []Entry
+	for _, e := range all {
+		switch e.Label {
+		case "SPECweb09", "TPC-C", "TPC-E", "Web Backend":
+			server = append(server, e)
+		}
+	}
+	groups["Server"] = server
+	mcf, ok := FindBench("SPECint (mcf)")
+	if !ok {
+		panic("core: mcf bench missing")
+	}
+	groups["SPECint (mcf)"] = []Entry{{Label: "SPECint (mcf)", Members: []Bench{mcf}}}
+	return groups
+}
+
+// PrefetchRow is one bar group of Figure 5: L2 hit ratios with all
+// prefetchers on, with the adjacent-line prefetcher disabled, and with
+// the HW (stride) prefetcher disabled.
+type PrefetchRow struct {
+	Label            string
+	Baseline         float64
+	AdjacentDisabled float64
+	HWDisabled       float64
+}
+
+// Figure5 measures L2 hit-ratio sensitivity to the prefetchers.
+func Figure5(entries []Entry, o Options) ([]PrefetchRow, error) {
+	mk := func(adj, hw bool) *Machine {
+		m := XeonX5670()
+		m.Mem.AdjacentLine = adj
+		m.Mem.HWPrefetcher = hw
+		return &m
+	}
+	configs := []*Machine{mk(true, true), mk(false, true), mk(true, false)}
+	rows := make([]PrefetchRow, 0, len(entries))
+	for _, e := range entries {
+		var vals [3]float64
+		for i, m := range configs {
+			opt := o
+			opt.Machine = m
+			r, err := MeasureEntry(e, opt)
+			if err != nil {
+				return nil, err
+			}
+			vals[i], _, _ = r.Stat(func(m *Measurement) float64 { return m.L2HitRatio() })
+		}
+		rows = append(rows, PrefetchRow{
+			Label: e.Label, Baseline: vals[0],
+			AdjacentDisabled: vals[1], HWDisabled: vals[2],
+		})
+	}
+	return rows, nil
+}
+
+// SharingRow is one bar of Figure 6: the fraction of LLC data
+// references that hit a block most recently modified by a remote core.
+type SharingRow struct {
+	Label string
+	App   float64
+	OS    float64
+}
+
+// Figure6 measures read-write sharing with threads split across two
+// sockets (Section 3.1's configuration).
+func Figure6(entries []Entry, o Options) ([]SharingRow, error) {
+	opt := o
+	opt.SplitSockets = true
+	rows := make([]SharingRow, 0, len(entries))
+	for _, e := range entries {
+		r, err := MeasureEntry(e, opt)
+		if err != nil {
+			return nil, err
+		}
+		app, _, _ := r.Stat(func(m *Measurement) float64 { return m.SharedRWFracUser() })
+		osv, _, _ := r.Stat(func(m *Measurement) float64 { return m.SharedRWFracOS() })
+		rows = append(rows, SharingRow{Label: e.Label, App: app, OS: osv})
+	}
+	return rows, nil
+}
+
+// BandwidthRow is one bar of Figure 7: off-chip bandwidth utilisation
+// split into application and OS shares.
+type BandwidthRow struct {
+	Label string
+	App   float64
+	OS    float64
+}
+
+// Figure7 measures off-chip bandwidth utilisation.
+func Figure7(entries []Entry, o Options) ([]BandwidthRow, error) {
+	rows := make([]BandwidthRow, 0, len(entries))
+	for _, e := range entries {
+		r, err := MeasureEntry(e, o)
+		if err != nil {
+			return nil, err
+		}
+		// Split each member's utilisation by the mode of its off-chip
+		// read traffic (writebacks charged proportionally), then average.
+		app, _, _ := r.Stat(func(m *Measurement) float64 {
+			reads := m.OffchipReadUser + m.OffchipReadOS
+			if reads == 0 {
+				return 0
+			}
+			return m.DRAMUtilization() * float64(m.OffchipReadUser) / float64(reads)
+		})
+		osu, _, _ := r.Stat(func(m *Measurement) float64 {
+			reads := m.OffchipReadUser + m.OffchipReadOS
+			if reads == 0 {
+				return 0
+			}
+			return m.DRAMUtilization() * float64(m.OffchipReadOS) / float64(reads)
+		})
+		rows = append(rows, BandwidthRow{Label: e.Label, App: app, OS: osu})
+	}
+	return rows, nil
+}

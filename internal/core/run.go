@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cloudsuite/internal/sim/counters"
+	"cloudsuite/internal/sim/engine"
+	"cloudsuite/internal/trace"
+	"cloudsuite/internal/workloads"
+)
+
+// Options configures one measurement, mirroring the paper's methodology
+// (Section 3.1): four cores dedicated to the workload, a ramp-up period
+// excluded from measurement, and optional SMT, socket-splitting, and
+// cache-polluter variations.
+type Options struct {
+	// Machine is the simulated server (default: XeonX5670, or TwoSocket
+	// when SplitSockets is set).
+	Machine *Machine
+	// Cores is the number of cores running the workload (paper: 4).
+	Cores int
+	// SMT runs two workload threads per core.
+	SMT bool
+	// SplitSockets places half the workload cores on each socket, the
+	// configuration used to expose read-write sharing (Figure 6).
+	SplitSockets bool
+	// PolluteBytes, when non-zero, dedicates two extra cores to
+	// cache-polluting threads that occupy the given amount of LLC
+	// (Figure 4's capacity sensitivity methodology).
+	PolluteBytes uint64
+	// WarmupInsts is the per-thread functional warm-up (ramp-up).
+	WarmupInsts int64
+	// MeasureInsts is the per-thread measured instruction budget.
+	MeasureInsts int64
+	// Seed controls the request streams and datasets. Runs with the same
+	// seed are statistically stable but not bit-identical: workload
+	// threads execute concurrently over shared structures, like the
+	// measured applications themselves.
+	Seed int64
+}
+
+// DefaultOptions returns the paper's baseline measurement setup scaled
+// to simulation budgets: 4 cores, no SMT, warm-up plus a measured
+// window per thread.
+func DefaultOptions() Options {
+	return Options{
+		Cores:        4,
+		WarmupInsts:  400_000,
+		MeasureInsts: 120_000,
+		Seed:         1,
+	}
+}
+
+// Measurement is the outcome of one run: the counter deltas of the
+// measurement window plus derived context.
+type Measurement struct {
+	// Counters is the summed counter block over the workload cores; its
+	// Cycles field is the core-cycle total (window length x cores).
+	counters.Counters
+	// WindowCycles is the measured window length in wall-clock cycles.
+	WindowCycles int64
+	// BenchName records the workload.
+	BenchName string
+}
+
+// Measure runs one workload instance under the given options.
+func Measure(w workloads.Workload, o Options) (*Measurement, error) {
+	if o.Cores <= 0 {
+		o.Cores = 4
+	}
+	if o.WarmupInsts == 0 {
+		o.WarmupInsts = DefaultOptions().WarmupInsts
+	}
+	if o.MeasureInsts == 0 {
+		o.MeasureInsts = DefaultOptions().MeasureInsts
+	}
+	machine := o.Machine
+	if machine == nil {
+		var m Machine
+		if o.SplitSockets {
+			m = TwoSocket()
+		} else {
+			m = XeonX5670()
+		}
+		machine = &m
+	}
+
+	// Thread placement.
+	nThreads := o.Cores
+	if o.SMT {
+		nThreads *= 2
+	}
+	coreOf := make([]int, nThreads)
+	for i := range coreOf {
+		c := i % o.Cores
+		if o.SplitSockets {
+			// Interleave across the two sockets: half the cores are on
+			// socket 1 (global ids offset by CoresPerSocket).
+			half := o.Cores / 2
+			if c >= half {
+				c = machine.Mem.CoresPerSocket + (c - half)
+			}
+		}
+		coreOf[i] = c
+	}
+
+	gens := w.Start(nThreads, o.Seed)
+	defer func() {
+		for _, g := range gens {
+			g.Close()
+		}
+	}()
+	threads := make([]engine.Thread, 0, nThreads+2)
+	for i, g := range gens {
+		threads = append(threads, engine.Thread{Gen: g, Core: coreOf[i], Measured: true})
+	}
+
+	// Cache polluters: two dedicated cores traverse an array sized to
+	// occupy PolluteBytes of the LLC, shrinking the capacity available
+	// to the workload (Section 3.1).
+	var polluters []*trace.ChanGen
+	if o.PolluteBytes > 0 {
+		pc1, pc2 := o.Cores, o.Cores+1
+		if pc2 >= machine.Mem.CoresPerSocket {
+			return nil, fmt.Errorf("core: no spare cores for polluters (%d workload cores on a %d-core socket)",
+				o.Cores, machine.Mem.CoresPerSocket)
+		}
+		for i := 0; i < 2; i++ {
+			g := startPolluter(o.PolluteBytes/2, uint64(i), o.Seed+1000+int64(i))
+			polluters = append(polluters, g)
+			threads = append(threads, engine.Thread{Gen: g, Core: pc1 + i, Measured: false})
+		}
+		defer func() {
+			for _, g := range polluters {
+				g.Close()
+			}
+		}()
+	}
+
+	cfg := engine.RunConfig{
+		Core:         machine.Core,
+		Mem:          machine.Mem,
+		WarmupInsts:  o.WarmupInsts,
+		MeasureInsts: o.MeasureInsts,
+		MaxCycles:    o.MeasureInsts * int64(nThreads) * 40,
+	}
+	res, err := engine.Run(cfg, threads)
+	if err != nil {
+		return nil, err
+	}
+	// Aggregate over the workload cores only: polluter cores are part of
+	// the machine but not of the measurement (Section 3.1 measures the
+	// cores under test).
+	var total counters.Counters
+	seen := map[int]bool{}
+	for _, c := range coreOf {
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		if pc := res.PerCore[c]; pc != nil {
+			total.Add(pc)
+		}
+	}
+	// DRAM busy/span are chip-wide.
+	total.DRAMBusyCycles = res.Total.DRAMBusyCycles
+	total.DRAMTotalCycles = res.Total.DRAMTotalCycles
+	total.DRAMChannels = res.Total.DRAMChannels
+	m := &Measurement{Counters: total, WindowCycles: res.Cycles, BenchName: w.Name()}
+	return m, nil
+}
+
+// startPolluter launches one cache-polluter thread: it traverses a
+// private array in a pseudo-random sequence sized so that accesses miss
+// the upper-level caches but hit (and therefore occupy) the LLC.
+func startPolluter(bytes uint64, id uint64, seed int64) *trace.ChanGen {
+	cfg := trace.EmitterConfig{Seed: seed, BlockLen: 8, BranchEntropy: 0}
+	return trace.Start(cfg, func(e *trace.Emitter) {
+		layout := trace.NewCodeLayout(0x10_0000+id*0x1_0000, 0x1_0000)
+		fn := layout.Func("polluter", 64)
+		rng := rand.New(rand.NewSource(seed))
+		lines := bytes / 64
+		if lines == 0 {
+			lines = 1
+		}
+		base := uint64(0x20_0000_0000) + id*0x10_0000_0000
+		e.Call(fn)
+		for {
+			// Independent random loads maximise occupancy pressure.
+			for k := 0; k < 16; k++ {
+				e.Load(base+(uint64(rng.Int63n(int64(lines))))*64, 8, trace.NoVal, false)
+			}
+			e.ALUIndep(2)
+		}
+	})
+}
+
+// MeasureBench creates a fresh instance of b and measures it.
+func MeasureBench(b Bench, o Options) (*Measurement, error) {
+	m, err := Measure(b.New(), o)
+	if err != nil {
+		return nil, fmt.Errorf("core: measuring %s: %w", b.Name, err)
+	}
+	m.BenchName = b.Name
+	return m, nil
+}
+
+// EntryResult aggregates an Entry's members: mean plus min/max of a
+// metric extracted per member (Figure 3's range bars).
+type EntryResult struct {
+	Label        string
+	Measurements []*Measurement
+}
+
+// MeasureEntry measures every member of e.
+func MeasureEntry(e Entry, o Options) (*EntryResult, error) {
+	r := &EntryResult{Label: e.Label}
+	for _, b := range e.Members {
+		m, err := MeasureBench(b, o)
+		if err != nil {
+			return nil, err
+		}
+		r.Measurements = append(r.Measurements, m)
+	}
+	return r, nil
+}
+
+// Stat extracts f per member and returns mean, min, max.
+func (r *EntryResult) Stat(f func(*Measurement) float64) (mean, lo, hi float64) {
+	if len(r.Measurements) == 0 {
+		return 0, 0, 0
+	}
+	lo, hi = f(r.Measurements[0]), f(r.Measurements[0])
+	var sum float64
+	for _, m := range r.Measurements {
+		v := f(m)
+		sum += v
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return sum / float64(len(r.Measurements)), lo, hi
+}

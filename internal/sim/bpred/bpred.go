@@ -1,0 +1,118 @@
+// Package bpred models the branch direction predictor of an aggressive
+// out-of-order core: a gshare direction predictor with a branch target
+// buffer and a return-address stack is a reasonable stand-in for the
+// Nehalem/Westmere-class front-end of the Xeon X5670.
+package bpred
+
+// Config sizes the predictor.
+type Config struct {
+	// GshareBits is log2 of the pattern history table size.
+	GshareBits uint
+	// BTBEntries is the number of direct-mapped BTB entries.
+	BTBEntries int
+	// HistoryBits is the global history length.
+	HistoryBits uint
+}
+
+// DefaultConfig approximates a Westmere-class predictor.
+func DefaultConfig() Config {
+	return Config{GshareBits: 16, BTBEntries: 4096, HistoryBits: 14}
+}
+
+// Predictor is a gshare + BTB branch predictor. It is not safe for
+// concurrent use; each hardware context owns one.
+type Predictor struct {
+	cfg     Config
+	pht     []uint8 // 2-bit saturating counters
+	phtMask uint64
+	history uint64
+	histMsk uint64
+	btbTag  []uint64
+	btbTgt  []uint64
+	btbMask uint64
+}
+
+// New returns a predictor with all counters weakly not-taken.
+func New(cfg Config) *Predictor {
+	if cfg.GshareBits == 0 {
+		cfg = DefaultConfig()
+	}
+	n := 1 << cfg.GshareBits
+	b := nextPow2(cfg.BTBEntries)
+	p := &Predictor{
+		cfg:     cfg,
+		pht:     make([]uint8, n),
+		phtMask: uint64(n - 1),
+		histMsk: (1 << cfg.HistoryBits) - 1,
+		btbTag:  make([]uint64, b),
+		btbTgt:  make([]uint64, b),
+		btbMask: uint64(b - 1),
+	}
+	for i := range p.pht {
+		p.pht[i] = 1 // weakly not-taken
+	}
+	return p
+}
+
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func (p *Predictor) index(pc uint64) uint64 {
+	return ((pc >> 2) ^ p.history) & p.phtMask
+}
+
+// Lookup predicts the direction and target for the branch at pc.
+// A predicted-taken branch with a BTB miss counts as a misprediction in
+// Predict, because the front-end cannot redirect without a target.
+func (p *Predictor) Lookup(pc uint64) (taken bool, target uint64, targetValid bool) {
+	ctr := p.pht[p.index(pc)]
+	taken = ctr >= 2
+	slot := (pc >> 2) & p.btbMask
+	if p.btbTag[slot] == pc {
+		return taken, p.btbTgt[slot], true
+	}
+	return taken, 0, false
+}
+
+// Predict runs a full predict-and-train step for a resolved branch and
+// reports whether the front-end would have mispredicted it.
+func (p *Predictor) Predict(pc uint64, taken bool, target uint64) (mispredict bool) {
+	predTaken, predTarget, tgtValid := p.Lookup(pc)
+	mispredict = predTaken != taken || (taken && (!tgtValid || predTarget != target))
+	p.Update(pc, taken, target)
+	return mispredict
+}
+
+// Update trains the predictor with the resolved outcome.
+func (p *Predictor) Update(pc uint64, taken bool, target uint64) {
+	idx := p.index(pc)
+	ctr := p.pht[idx]
+	if taken {
+		if ctr < 3 {
+			p.pht[idx] = ctr + 1
+		}
+	} else if ctr > 0 {
+		p.pht[idx] = ctr - 1
+	}
+	p.history = ((p.history << 1) | b2u(taken)) & p.histMsk
+	if taken {
+		slot := (pc >> 2) & p.btbMask
+		p.btbTag[slot] = pc
+		p.btbTgt[slot] = target
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,89 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLearnsBiasedBranch(t *testing.T) {
+	p := New(DefaultConfig())
+	pc, tgt := uint64(0x400100), uint64(0x400200)
+	miss := 0
+	for i := 0; i < 1000; i++ {
+		if p.Predict(pc, true, tgt) {
+			miss++
+		}
+	}
+	// Allow for history warm-up (~history length + counter training).
+	if miss > 20 {
+		t.Fatalf("always-taken branch mispredicted %d/1000 times", miss)
+	}
+}
+
+func TestLearnsAlternatingPattern(t *testing.T) {
+	p := New(DefaultConfig())
+	pc, tgt := uint64(0x400100), uint64(0x400200)
+	miss := 0
+	for i := 0; i < 2000; i++ {
+		if p.Predict(pc, i%2 == 0, tgt) {
+			miss++
+		}
+	}
+	// Global history makes a strict alternation learnable.
+	if frac := float64(miss) / 2000; frac > 0.2 {
+		t.Fatalf("alternating branch mispredict rate %.2f, want < 0.2", frac)
+	}
+}
+
+func TestRandomBranchMispredictsOften(t *testing.T) {
+	p := New(DefaultConfig())
+	rng := rand.New(rand.NewSource(7))
+	pc, tgt := uint64(0x400100), uint64(0x400200)
+	miss := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if p.Predict(pc, rng.Intn(2) == 0, tgt) {
+			miss++
+		}
+	}
+	frac := float64(miss) / n
+	if frac < 0.3 || frac > 0.7 {
+		t.Fatalf("random branch mispredict rate %.2f, want ~0.5", frac)
+	}
+}
+
+func TestBTBMissOnNewTakenBranch(t *testing.T) {
+	p := New(DefaultConfig())
+	// Warm the direction predictor toward taken at this index without
+	// populating the BTB slot for the probe PC.
+	pc := uint64(0x400100)
+	p.Update(pc, true, 0x400200)
+	p.Update(pc, true, 0x400200)
+	probe := pc + uint64(p.btbMask+1)*4 // same BTB slot, different tag
+	_, _, valid := p.Lookup(probe)
+	if valid {
+		t.Fatal("BTB should miss for a PC it never saw taken")
+	}
+}
+
+// Property: predictor state stays bounded (counters within [0,3]).
+func TestQuickCounterBounds(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := New(Config{GshareBits: 8, BTBEntries: 64, HistoryBits: 8})
+		for i := 0; i < 5000; i++ {
+			pc := uint64(rng.Intn(512)) * 4
+			p.Predict(pc, rng.Intn(2) == 0, pc+64)
+		}
+		for _, c := range p.pht {
+			if c > 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigSets(t *testing.T) {
+	c := Config{SizeBytes: 32 << 10, Assoc: 4}
+	if got := c.Sets(); got != 128 {
+		t.Errorf("32KB 4-way: sets = %d, want 128", got)
+	}
+	llc := Config{SizeBytes: 12 << 20, Assoc: 16}
+	if got := llc.Sets(); got != 12288 {
+		t.Errorf("12MB 16-way: sets = %d, want 12288 (non power of two)", got)
+	}
+}
+
+func TestProbeInsertInvalidate(t *testing.T) {
+	c := New(Config{SizeBytes: 4096, Assoc: 2}) // 32 sets
+	if c.probe(100, true) != nil {
+		t.Fatal("empty cache must miss")
+	}
+	_, ev, _ := c.insert(100, 0)
+	if ev {
+		t.Fatal("insert into empty set must not evict")
+	}
+	if c.probe(100, true) == nil {
+		t.Fatal("inserted line must hit")
+	}
+	was, ok := c.invalidate(100)
+	if !ok || was.tag != 101 {
+		t.Fatalf("invalidate: ok=%v tag=%d", ok, was.tag)
+	}
+	if c.probe(100, false) != nil {
+		t.Fatal("invalidated line must miss")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(Config{SizeBytes: 2 * 64, Assoc: 2}) // 1 set, 2 ways
+	c.insert(1, 0)
+	c.insert(2, 0)
+	c.probe(1, true) // make 1 MRU
+	v, ev, _ := c.insert(3, 0)
+	if !ev || v.tag != 2+1 {
+		t.Fatalf("expected eviction of line 2, got evicted=%v tag=%d", ev, v.tag)
+	}
+	if c.probe(1, false) == nil || c.probe(3, false) == nil {
+		t.Fatal("lines 1 and 3 must remain")
+	}
+}
+
+func TestInsertExistingReuses(t *testing.T) {
+	c := New(Config{SizeBytes: 2 * 64, Assoc: 2})
+	c.insert(7, 0)
+	_, ev, slot := c.insert(7, flagDirty)
+	if ev {
+		t.Fatal("reinsert must not evict")
+	}
+	if slot.flags&flagDirty == 0 {
+		t.Fatal("reinsert must merge flags")
+	}
+	if c.FootprintLines() != 1 {
+		t.Fatalf("footprint = %d, want 1", c.FootprintLines())
+	}
+}
+
+// Property: a cache never holds more lines than its capacity and never
+// holds duplicates.
+func TestQuickCacheInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(Config{SizeBytes: 64 * 64, Assoc: 4}) // 16 sets x 4 ways
+		seen := map[uint64]bool{}
+		for i := 0; i < 2000; i++ {
+			la := uint64(rng.Intn(500))
+			c.insert(la, 0)
+			seen[la] = true
+		}
+		if c.FootprintLines() > 64 {
+			return false
+		}
+		// No duplicates: probing any line and invalidating it once must
+		// remove it completely.
+		for la := range seen {
+			if c.probe(la, false) != nil {
+				c.invalidate(la)
+				if c.probe(la, false) != nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	c := New(Config{SizeBytes: 4 * 64, Assoc: 2}) // 2 sets x 2 ways
+	if c.Utilization() != 0 {
+		t.Fatal("empty cache utilization must be 0")
+	}
+	c.insert(0, 0)
+	c.insert(1, 0)
+	c.insert(2, 0)
+	c.insert(3, 0)
+	if c.Utilization() != 1 {
+		t.Fatalf("full cache utilization = %f", c.Utilization())
+	}
+}

@@ -1,0 +1,635 @@
+package cache
+
+import (
+	"cloudsuite/internal/sim/counters"
+	"cloudsuite/internal/sim/dram"
+	"cloudsuite/internal/sim/prefetch"
+)
+
+// SystemConfig describes the full memory system of the simulated
+// machine: per-core private caches, one shared LLC per socket, the
+// prefetcher enable bits, and the DRAM controller.
+type SystemConfig struct {
+	Sockets        int
+	CoresPerSocket int
+
+	L1I Config
+	L1D Config
+	L2  Config
+	LLC Config
+
+	// Prefetcher enables, named after the BIOS knobs of the measured
+	// machine (Figure 5 toggles these).
+	AdjacentLine bool
+	HWPrefetcher bool
+	DCUStreamer  bool
+
+	// IPrefetch selects the instruction prefetcher (Section 4.1's
+	// implications experiment): IPrefNone, IPrefNextLine (the
+	// conventional front-end), or IPrefStream (a temporal-stream
+	// instruction prefetcher).
+	IPrefetch IPrefMode
+
+	// LLCInstrLatencyCycles, when non-zero, is the latency of LLC
+	// instruction accesses, modelling the partitioned organisation the
+	// paper's Section 4.1 implications describe: instruction blocks
+	// replicated in LLC slices close to the requesting cores (in the
+	// spirit of Reactive NUCA), so instruction fetches avoid the full
+	// uniform LLC latency. Data accesses are unaffected.
+	LLCInstrLatencyCycles int
+
+	// RemoteHitCycles is the latency of servicing a miss from the other
+	// socket's cache (QPI hop + remote LLC).
+	RemoteHitCycles int
+
+	DRAM dram.Config
+}
+
+// IPrefMode selects the instruction-prefetch model.
+type IPrefMode int
+
+// Instruction prefetcher choices.
+const (
+	// IPrefNextLine is the conventional sequential prefetcher present
+	// in the measured machine.
+	IPrefNextLine IPrefMode = iota
+	// IPrefNone disables instruction prefetching.
+	IPrefNone
+	// IPrefStream replays recorded instruction-miss streams, the kind
+	// of predictor the paper argues scale-out workloads need.
+	IPrefStream
+)
+
+// TotalCores returns the number of cores in the system.
+func (c SystemConfig) TotalCores() int { return c.Sockets * c.CoresPerSocket }
+
+// DefaultSystemConfig returns the Table-1 memory system: one socket
+// exposed with six cores (experiments enable four), 32KB L1s, 256KB L2,
+// 12MB LLC, all prefetchers on, three DDR3 channels.
+func DefaultSystemConfig() SystemConfig {
+	return SystemConfig{
+		Sockets:         1,
+		CoresPerSocket:  6,
+		L1I:             Config{SizeBytes: 32 << 10, Assoc: 4, LatencyCycles: 4},
+		L1D:             Config{SizeBytes: 32 << 10, Assoc: 8, LatencyCycles: 4},
+		L2:              Config{SizeBytes: 256 << 10, Assoc: 8, LatencyCycles: 11},
+		LLC:             Config{SizeBytes: 12 << 20, Assoc: 16, LatencyCycles: 29},
+		AdjacentLine:    true,
+		HWPrefetcher:    true,
+		DCUStreamer:     true,
+		RemoteHitCycles: 110,
+		DRAM:            dram.DefaultConfig(),
+	}
+}
+
+type coreCaches struct {
+	l1i     *Cache
+	l1d     *Cache
+	l2      *Cache
+	stride  *prefetch.Stride
+	dcu     prefetch.DCU
+	nextI   prefetch.NextLineI
+	streamI *prefetch.StreamI
+}
+
+// System is the memory system instance. It is driven single-threaded by
+// the simulator's cycle loop.
+type System struct {
+	cfg   SystemConfig
+	cores []coreCaches
+	llcs  []*Cache
+	mem   *dram.Controller
+	ctrs  []*counters.Counters
+}
+
+// NewSystem builds the memory system.
+func NewSystem(cfg SystemConfig) *System {
+	n := cfg.TotalCores()
+	s := &System{cfg: cfg, mem: dram.New(cfg.DRAM)}
+	s.cores = make([]coreCaches, n)
+	s.ctrs = make([]*counters.Counters, n)
+	for i := range s.cores {
+		s.cores[i] = coreCaches{
+			l1i:    New(cfg.L1I),
+			l1d:    New(cfg.L1D),
+			l2:     New(cfg.L2),
+			stride: prefetch.NewStride(16),
+		}
+		if cfg.IPrefetch == IPrefStream {
+			s.cores[i].streamI = prefetch.NewStreamI(8192)
+		}
+		s.ctrs[i] = &counters.Counters{DRAMChannels: uint64(s.mem.Config().Channels)}
+	}
+	s.llcs = make([]*Cache, cfg.Sockets)
+	for i := range s.llcs {
+		s.llcs[i] = New(cfg.LLC)
+	}
+	return s
+}
+
+// Config returns the system configuration.
+func (s *System) Config() SystemConfig { return s.cfg }
+
+// Ctr returns the counter block events triggered by core are charged to.
+func (s *System) Ctr(core int) *counters.Counters { return s.ctrs[core] }
+
+// DRAM exposes the memory controller for bandwidth accounting.
+func (s *System) DRAM() *dram.Controller { return s.mem }
+
+func (s *System) socketOf(core int) int { return core / s.cfg.CoresPerSocket }
+
+func (s *System) llcOf(core int) *Cache { return s.llcs[s.socketOf(core)] }
+
+// --- fill helpers -----------------------------------------------------
+
+// fillLLC inserts lineAddr into core's socket LLC, handling inclusive
+// back-invalidation and dirty writeback of the victim.
+func (s *System) fillLLC(core int, lineAddr uint64, fl lineFlags, now int64) *line {
+	llc := s.llcOf(core)
+	victim, evicted, slot := llc.insert(lineAddr, fl)
+	if evicted {
+		s.evictLLCVictim(core, victim, now)
+	}
+	return slot
+}
+
+func (s *System) evictLLCVictim(core int, victim line, now int64) {
+	ctr := s.ctrs[core]
+	victimAddr := victim.tag - 1
+	dirty := victim.flags&flagDirty != 0
+	// Inclusive hierarchy: remove all private copies; a modified private
+	// copy makes the line dirty regardless of the LLC's own dirty bit.
+	for mask, c := victim.sharers, 0; mask != 0; mask, c = mask>>1, c+1 {
+		if mask&1 == 0 {
+			continue
+		}
+		cc := &s.cores[c]
+		if was, ok := cc.l1d.invalidate(victimAddr); ok && was.flags&flagDirty != 0 {
+			dirty = true
+		}
+		if was, ok := cc.l2.invalidate(victimAddr); ok && was.flags&flagDirty != 0 {
+			dirty = true
+		}
+		cc.l1i.invalidate(victimAddr)
+	}
+	if victim.owner >= 0 {
+		dirty = true
+	}
+	if victim.flags&flagPrefetched != 0 {
+		ctr.PrefEvicted++
+	}
+	if dirty {
+		s.mem.Write(victimAddr, now)
+		ctr.OffchipWriteback += LineBytes
+	}
+}
+
+// fillL2 inserts into core's L2; a dirty victim is absorbed by the
+// inclusive LLC (its dirty bit is set) or written back if the LLC has
+// already dropped it.
+func (s *System) fillL2(core int, lineAddr uint64, fl lineFlags, now int64) {
+	cc := &s.cores[core]
+	victim, evicted, _ := cc.l2.insert(lineAddr, fl)
+	if evicted && victim.flags&flagDirty != 0 {
+		victimAddr := victim.tag - 1
+		if l := s.llcOf(core).probe(victimAddr, false); l != nil {
+			l.flags |= flagDirty
+			if l.owner == int16(core) {
+				l.owner = -1
+			}
+		} else {
+			s.mem.Write(victimAddr, now)
+			s.ctrs[core].OffchipWriteback += LineBytes
+		}
+	}
+}
+
+// fillL1D inserts into core's L1D; dirty victims spill to the L2.
+func (s *System) fillL1D(core int, lineAddr uint64, fl lineFlags, now int64) {
+	cc := &s.cores[core]
+	victim, evicted, _ := cc.l1d.insert(lineAddr, fl)
+	if evicted && victim.flags&flagDirty != 0 {
+		s.fillL2(core, victim.tag-1, flagDirty, now)
+	}
+}
+
+func (s *System) fillL1I(core int, lineAddr uint64) {
+	// Instruction lines are never dirty; victims drop silently.
+	s.cores[core].l1i.insert(lineAddr, flagInstr)
+}
+
+// --- coherence helpers --------------------------------------------------
+
+// claimOwnership makes core the exclusive modified owner of lineAddr in
+// its socket's directory, invalidating all other private copies. It
+// returns true when another core previously held the line Modified
+// (a read-write sharing event).
+func (s *System) claimOwnership(core int, lineAddr uint64, llcLine *line) (stolenFromOther bool) {
+	prevOwner := llcLine.owner
+	for mask, c := llcLine.sharers, 0; mask != 0; mask, c = mask>>1, c+1 {
+		if mask&1 == 0 || c == core {
+			continue
+		}
+		cc := &s.cores[c]
+		if was, ok := cc.l1d.invalidate(lineAddr); ok && was.flags&flagDirty != 0 {
+			llcLine.flags |= flagDirty
+		}
+		if was, ok := cc.l2.invalidate(lineAddr); ok && was.flags&flagDirty != 0 {
+			llcLine.flags |= flagDirty
+		}
+		cc.l1i.invalidate(lineAddr)
+	}
+	llcLine.sharers = 1 << uint(core)
+	llcLine.owner = int16(core)
+	llcLine.flags |= flagDirty
+	return prevOwner >= 0 && prevOwner != int16(core)
+}
+
+// downgradeOwner services a read to a line another core holds Modified:
+// the owner's copy is demoted and the LLC absorbs the dirty data.
+func (s *System) downgradeOwner(llcLine *line) {
+	llcLine.owner = -1
+	llcLine.flags |= flagDirty
+}
+
+// --- instruction fetch ---------------------------------------------------
+
+// FetchResult describes where an instruction fetch was serviced.
+type FetchResult struct {
+	// Done is the completion time.
+	Done int64
+	// L1Miss reports that the fetch missed the L1-I.
+	L1Miss bool
+	// OffCore reports that the fetch missed the L2 as well.
+	OffCore bool
+}
+
+// FetchInstr fetches the line containing pc for core at time now.
+func (s *System) FetchInstr(core int, pc uint64, now int64, kernel bool) FetchResult {
+	lineAddr := pc >> LineShift
+	cc := &s.cores[core]
+	ctr := s.ctrs[core]
+	if kernel {
+		ctr.FetchL1IAccessOS++
+	} else {
+		ctr.FetchL1IAccessUser++
+	}
+	if cc.l1i.probe(lineAddr, true) != nil {
+		return FetchResult{Done: now}
+	}
+	if kernel {
+		ctr.L1IMissOS++
+	} else {
+		ctr.L1IMissUser++
+	}
+	switch s.cfg.IPrefetch {
+	case IPrefNextLine:
+		for _, p := range cc.nextI.OnMiss(lineAddr) {
+			s.prefetchInstr(core, p, kernel, now)
+		}
+	case IPrefStream:
+		for _, p := range cc.streamI.OnMiss(lineAddr) {
+			s.prefetchInstr(core, p, kernel, now)
+		}
+	}
+	ctr.L2Access++
+	if l := cc.l2.probe(lineAddr, true); l != nil {
+		ctr.L2Hit++
+		s.fillL1I(core, lineAddr)
+		return FetchResult{Done: now + int64(s.cfg.L2.LatencyCycles), L1Miss: true}
+	}
+	if kernel {
+		ctr.L2IMissOS++
+	} else {
+		ctr.L2IMissUser++
+	}
+	done := s.accessShared(core, lineAddr, false, kernel, true, now)
+	s.fillL2(core, lineAddr, flagInstr, now)
+	s.fillL1I(core, lineAddr)
+	return FetchResult{Done: done, L1Miss: true, OffCore: true}
+}
+
+// --- data access ---------------------------------------------------------
+
+// DataResult describes a data access.
+type DataResult struct {
+	// Done is the completion time (load-to-use).
+	Done int64
+	// L1Miss reports a super-queue allocation (missed the L1-D).
+	L1Miss bool
+	// OffCore reports the request left the core (missed the L2).
+	OffCore bool
+}
+
+// AccessData performs a load or store by core at time now.
+func (s *System) AccessData(core int, addr uint64, write, kernel bool, now int64) DataResult {
+	lineAddr := addr >> LineShift
+	cc := &s.cores[core]
+	ctr := s.ctrs[core]
+	ctr.L1DAccess++
+
+	if l := cc.l1d.probe(lineAddr, true); l != nil {
+		if l.flags&flagPrefetched != 0 {
+			ctr.PrefUseful++
+			l.flags &^= flagPrefetched
+		}
+		if write {
+			if l.flags&flagExcl == 0 {
+				if llcLine := s.llcOf(core).probe(lineAddr, false); llcLine != nil {
+					s.claimOwnership(core, lineAddr, llcLine)
+				}
+				l.flags |= flagExcl
+			}
+			l.flags |= flagDirty
+		}
+		return DataResult{Done: now + int64(s.cfg.L1D.LatencyCycles)}
+	}
+	ctr.L1DMiss++
+
+	// The streamers track load misses (demand reads); write-allocate
+	// traffic from the store buffer does not train them.
+	if s.cfg.DCUStreamer && !write {
+		if target := cc.dcu.Observe(lineAddr); target != 0 {
+			s.prefetchL1(core, target, kernel, now)
+		}
+	}
+
+	ctr.L2DAccess++
+	ctr.L2Access++
+	if s.cfg.HWPrefetcher && !write {
+		for _, p := range cc.stride.Observe(lineAddr) {
+			s.prefetchL2(core, p, kernel, now)
+		}
+	}
+	if l := cc.l2.probe(lineAddr, true); l != nil {
+		ctr.L2Hit++
+		if l.flags&flagPrefetched != 0 {
+			ctr.PrefUseful++
+			l.flags &^= flagPrefetched
+		}
+		fl := lineFlags(0)
+		if write {
+			if llcLine := s.llcOf(core).probe(lineAddr, false); llcLine != nil {
+				s.claimOwnership(core, lineAddr, llcLine)
+			}
+			fl = flagDirty | flagExcl
+		}
+		s.fillL1D(core, lineAddr, fl, now)
+		return DataResult{Done: now + int64(s.cfg.L2.LatencyCycles), L1Miss: true}
+	}
+	ctr.L2DMiss++
+	if s.cfg.AdjacentLine {
+		s.prefetchL2(core, prefetch.AdjacentLine(lineAddr), kernel, now)
+	}
+
+	done := s.accessShared(core, lineAddr, write, kernel, false, now)
+	fl := lineFlags(0)
+	if write {
+		fl = flagDirty | flagExcl
+	}
+	s.fillL2(core, lineAddr, fl&flagDirty, now)
+	s.fillL1D(core, lineAddr, fl, now)
+	return DataResult{Done: done, L1Miss: true, OffCore: true}
+}
+
+// accessShared services an L2 miss from the LLC, a remote socket, or
+// DRAM, maintaining the directory. It returns the completion time.
+func (s *System) accessShared(core int, lineAddr uint64, write, kernel, instr bool, now int64) int64 {
+	ctr := s.ctrs[core]
+	llc := s.llcOf(core)
+	ctr.LLCAccess++
+	if instr {
+		ctr.LLCInstrRefs++
+	} else {
+		ctr.LLCDataRefs++
+		if kernel {
+			ctr.LLCDataRefsOS++
+		}
+	}
+
+	if l := llc.probe(lineAddr, true); l != nil {
+		ctr.LLCHit++
+		if kernel {
+			ctr.LLCHitOS++
+		} else {
+			ctr.LLCHitUser++
+		}
+		llcLat := int64(s.cfg.LLC.LatencyCycles)
+		if instr && s.cfg.LLCInstrLatencyCycles > 0 {
+			llcLat = int64(s.cfg.LLCInstrLatencyCycles)
+		}
+		if l.flags&flagPrefetched != 0 {
+			ctr.PrefUseful++
+			l.flags &^= flagPrefetched
+		}
+		sharedRW := false
+		if !instr {
+			if write {
+				sharedRW = s.claimOwnership(core, lineAddr, l)
+			} else if l.owner >= 0 && l.owner != int16(core) {
+				sharedRW = true
+				s.downgradeOwner(l)
+			}
+		}
+		if sharedRW {
+			if kernel {
+				ctr.SharedRWHitOS++
+			} else {
+				ctr.SharedRWHitUser++
+			}
+			if DebugSharing != nil {
+				DebugSharing[lineAddr]++
+			}
+		}
+		l.sharers |= 1 << uint(core)
+		if write && !instr {
+			l.owner = int16(core)
+		}
+		return now + llcLat
+	}
+	ctr.LLCMiss++
+	if kernel {
+		ctr.LLCMissOS++
+	} else {
+		ctr.LLCMissUser++
+	}
+
+	// Snoop the other sockets.
+	for so := range s.llcs {
+		if so == s.socketOf(core) {
+			continue
+		}
+		rl := s.llcs[so].probe(lineAddr, false)
+		if rl == nil {
+			continue
+		}
+		ctr.RemoteSocketHit++
+		modified := rl.owner >= 0 || rl.flags&flagDirty != 0
+		if modified && !instr {
+			if kernel {
+				ctr.SharedRWHitOS++
+			} else {
+				ctr.SharedRWHitUser++
+			}
+		}
+		if write {
+			// Invalidate the remote copy and all its private copies.
+			victim := *rl
+			s.llcs[so].invalidate(lineAddr)
+			for mask, c := victim.sharers, 0; mask != 0; mask, c = mask>>1, c+1 {
+				if mask&1 == 0 {
+					continue
+				}
+				rc := &s.cores[c]
+				rc.l1d.invalidate(lineAddr)
+				rc.l2.invalidate(lineAddr)
+				rc.l1i.invalidate(lineAddr)
+			}
+		} else if rl.owner >= 0 {
+			s.downgradeOwner(rl)
+		}
+		fl := lineFlags(0)
+		if write {
+			fl = flagDirty
+		}
+		nl := s.fillLLC(core, lineAddr, fl, now)
+		nl.sharers = 1 << uint(core)
+		if write && !instr {
+			nl.owner = int16(core)
+		}
+		return now + int64(s.cfg.RemoteHitCycles)
+	}
+
+	// Off-chip.
+	done := s.mem.Read(lineAddr, now)
+	if kernel {
+		ctr.OffchipReadOS += LineBytes
+	} else {
+		ctr.OffchipReadUser += LineBytes
+	}
+	fl := lineFlags(0)
+	if write {
+		fl = flagDirty
+	}
+	if instr {
+		fl |= flagInstr
+	}
+	nl := s.fillLLC(core, lineAddr, fl, now)
+	nl.sharers = 1 << uint(core)
+	if write && !instr {
+		nl.owner = int16(core)
+	}
+	llcDone := now + int64(s.cfg.LLC.LatencyCycles)
+	if done < llcDone {
+		done = llcDone
+	}
+	return done
+}
+
+// prefetchInstr fetches an instruction line into core's L1-I without
+// blocking the demand fetch.
+func (s *System) prefetchInstr(core int, lineAddr uint64, kernel bool, now int64) {
+	cc := &s.cores[core]
+	if cc.l1i.Contains(lineAddr) {
+		return
+	}
+	ctr := s.ctrs[core]
+	ctr.PrefIssued++
+	if cc.l2.Contains(lineAddr) {
+		s.fillL1I(core, lineAddr)
+		return
+	}
+	llc := s.llcOf(core)
+	if l := llc.probe(lineAddr, true); l != nil {
+		l.sharers |= 1 << uint(core)
+		s.fillL2(core, lineAddr, flagInstr, now)
+		s.fillL1I(core, lineAddr)
+		return
+	}
+	s.mem.Read(lineAddr, now)
+	if kernel {
+		ctr.OffchipReadOS += LineBytes
+	} else {
+		ctr.OffchipReadUser += LineBytes
+	}
+	nl := s.fillLLC(core, lineAddr, flagInstr, now)
+	nl.sharers |= 1 << uint(core)
+	s.fillL2(core, lineAddr, flagInstr, now)
+	s.fillL1I(core, lineAddr)
+}
+
+// prefetchL2 fetches lineAddr into core's L2 (and LLC) without blocking
+// the demand stream.
+func (s *System) prefetchL2(core int, lineAddr uint64, kernel bool, now int64) {
+	cc := &s.cores[core]
+	if cc.l2.Contains(lineAddr) {
+		return
+	}
+	ctr := s.ctrs[core]
+	ctr.PrefIssued++
+	llc := s.llcOf(core)
+	if l := llc.probe(lineAddr, true); l != nil {
+		l.sharers |= 1 << uint(core)
+		s.fillL2(core, lineAddr, flagPrefetched, now)
+		return
+	}
+	// Prefetch misses LLC: fetch from memory (or remote socket).
+	for so := range s.llcs {
+		if so == s.socketOf(core) {
+			continue
+		}
+		if rl := s.llcs[so].probe(lineAddr, false); rl != nil {
+			if rl.owner >= 0 {
+				s.downgradeOwner(rl)
+			}
+			nl := s.fillLLC(core, lineAddr, flagPrefetched, now)
+			nl.sharers |= 1 << uint(core)
+			s.fillL2(core, lineAddr, flagPrefetched, now)
+			return
+		}
+	}
+	s.mem.Read(lineAddr, now)
+	if kernel {
+		ctr.OffchipReadOS += LineBytes
+	} else {
+		ctr.OffchipReadUser += LineBytes
+	}
+	nl := s.fillLLC(core, lineAddr, flagPrefetched, now)
+	nl.sharers |= 1 << uint(core)
+	s.fillL2(core, lineAddr, flagPrefetched, now)
+}
+
+// prefetchL1 fetches lineAddr into core's L1-D (DCU streamer).
+func (s *System) prefetchL1(core int, lineAddr uint64, kernel bool, now int64) {
+	cc := &s.cores[core]
+	if cc.l1d.Contains(lineAddr) {
+		return
+	}
+	s.ctrs[core].PrefIssued++
+	if cc.l2.Contains(lineAddr) {
+		s.fillL1D(core, lineAddr, flagPrefetched, now)
+		return
+	}
+	llc := s.llcOf(core)
+	if l := llc.probe(lineAddr, true); l != nil {
+		l.sharers |= 1 << uint(core)
+		s.fillL1D(core, lineAddr, flagPrefetched, now)
+		return
+	}
+	s.mem.Read(lineAddr, now)
+	if kernel {
+		s.ctrs[core].OffchipReadOS += LineBytes
+	} else {
+		s.ctrs[core].OffchipReadUser += LineBytes
+	}
+	nl := s.fillLLC(core, lineAddr, flagPrefetched, now)
+	nl.sharers |= 1 << uint(core)
+	s.fillL1D(core, lineAddr, flagPrefetched, now)
+}
+
+// DebugSharing, when non-nil, histograms the lines that produce
+// read-write sharing hits (diagnostics only).
+var DebugSharing map[uint64]uint64
+
+// LLCUtilization reports valid-line share of socket's LLC (diagnostics).
+func (s *System) LLCUtilization(socket int) float64 { return s.llcs[socket].Utilization() }

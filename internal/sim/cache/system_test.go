@@ -1,0 +1,325 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cloudsuite/internal/sim/dram"
+)
+
+func testSystemConfig(sockets, cores int) SystemConfig {
+	cfg := DefaultSystemConfig()
+	cfg.Sockets = sockets
+	cfg.CoresPerSocket = cores
+	// Small caches keep tests fast and force interesting evictions.
+	cfg.L1I = Config{SizeBytes: 1 << 10, Assoc: 2, LatencyCycles: 4}
+	cfg.L1D = Config{SizeBytes: 1 << 10, Assoc: 2, LatencyCycles: 4}
+	cfg.L2 = Config{SizeBytes: 4 << 10, Assoc: 4, LatencyCycles: 11}
+	cfg.LLC = Config{SizeBytes: 64 << 10, Assoc: 8, LatencyCycles: 29}
+	cfg.DRAM = dram.Config{Channels: 2, AccessCycles: 100, TransferCycles: 10}
+	return cfg
+}
+
+func TestDataHitLatencies(t *testing.T) {
+	s := NewSystem(testSystemConfig(1, 2))
+	addr := uint64(0x1000_0000)
+	r := s.AccessData(0, addr, false, false, 0)
+	if !r.OffCore || !r.L1Miss {
+		t.Fatalf("cold access must go off-core: %+v", r)
+	}
+	r2 := s.AccessData(0, addr, false, false, 1000)
+	if r2.L1Miss || r2.OffCore {
+		t.Fatalf("second access must hit L1: %+v", r2)
+	}
+	if got := r2.Done - 1000; got != int64(s.cfg.L1D.LatencyCycles) {
+		t.Errorf("L1 hit latency = %d, want %d", got, s.cfg.L1D.LatencyCycles)
+	}
+}
+
+func TestInstrFetchMissCounters(t *testing.T) {
+	s := NewSystem(testSystemConfig(1, 1))
+	pc := uint64(0x40_0000)
+	fr := s.FetchInstr(0, pc, 0, false)
+	if !fr.L1Miss || !fr.OffCore {
+		t.Fatalf("cold fetch must miss everywhere: %+v", fr)
+	}
+	c := s.Ctr(0)
+	if c.L1IMissUser != 1 || c.L2IMissUser != 1 {
+		t.Errorf("miss counters: L1I=%d L2I=%d, want 1/1", c.L1IMissUser, c.L2IMissUser)
+	}
+	fr2 := s.FetchInstr(0, pc, 10, false)
+	if fr2.L1Miss {
+		t.Fatalf("warm fetch must hit L1-I: %+v", fr2)
+	}
+	// Kernel fetches attribute to OS counters.
+	s.FetchInstr(0, pc+4096*16, 20, true)
+	if c.L1IMissOS != 1 {
+		t.Errorf("kernel fetch miss not attributed to OS: %d", c.L1IMissOS)
+	}
+}
+
+func TestWriteThenRemoteReadCountsSharedRW(t *testing.T) {
+	s := NewSystem(testSystemConfig(1, 2))
+	addr := uint64(0x2000_0000)
+	// Core 0 writes the line (becomes Modified owner).
+	s.AccessData(0, addr, true, false, 0)
+	// Core 1 reads it: its L2 misses, the LLC directory shows core 0 as
+	// the modified owner -> read-write sharing event.
+	s.AccessData(1, addr, false, false, 100)
+	c1 := s.Ctr(1)
+	if c1.SharedRWHitUser != 1 {
+		t.Fatalf("SharedRWHitUser = %d, want 1", c1.SharedRWHitUser)
+	}
+	// A third read by core 1 hits its own L1 now; no new event.
+	s.AccessData(1, addr, false, false, 200)
+	if c1.SharedRWHitUser != 1 {
+		t.Fatalf("extra sharing event counted: %d", c1.SharedRWHitUser)
+	}
+}
+
+func TestReadOnlySharingIsNotCounted(t *testing.T) {
+	s := NewSystem(testSystemConfig(1, 2))
+	addr := uint64(0x2000_0000)
+	s.AccessData(0, addr, false, false, 0)   // core 0 reads
+	s.AccessData(1, addr, false, false, 100) // core 1 reads
+	if got := s.Ctr(1).SharedRWHitUser; got != 0 {
+		t.Fatalf("read-only sharing counted as read-write: %d", got)
+	}
+}
+
+func TestWriteInvalidatesOtherCore(t *testing.T) {
+	s := NewSystem(testSystemConfig(1, 2))
+	addr := uint64(0x3000_0000)
+	s.AccessData(0, addr, false, false, 0) // core 0 caches the line
+	s.AccessData(1, addr, true, false, 50) // core 1 writes it
+	// Core 0's next read must miss L1 (its copy was invalidated).
+	r := s.AccessData(0, addr, false, false, 100)
+	if !r.L1Miss {
+		t.Fatal("core 0 copy should have been invalidated by core 1's write")
+	}
+	if got := s.Ctr(0).SharedRWHitUser; got != 1 {
+		t.Fatalf("core 0 re-read of modified line: SharedRWHitUser = %d, want 1", got)
+	}
+}
+
+func TestRemoteSocketHit(t *testing.T) {
+	s := NewSystem(testSystemConfig(2, 1))
+	addr := uint64(0x4000_0000)
+	s.AccessData(0, addr, true, false, 0) // socket 0 writes
+	// Core 1 lives on socket 1: its LLC misses, snoop finds socket 0.
+	s.AccessData(1, addr, false, false, 100)
+	c1 := s.Ctr(1)
+	if c1.RemoteSocketHit != 1 {
+		t.Fatalf("RemoteSocketHit = %d, want 1", c1.RemoteSocketHit)
+	}
+	if c1.SharedRWHitUser != 1 {
+		t.Fatalf("remote modified read must count sharing: %d", c1.SharedRWHitUser)
+	}
+}
+
+func TestInclusionBackInvalidation(t *testing.T) {
+	cfg := testSystemConfig(1, 1)
+	cfg.LLC = Config{SizeBytes: 8 * 64, Assoc: 2, LatencyCycles: 29} // 4 sets
+	cfg.AdjacentLine, cfg.HWPrefetcher, cfg.DCUStreamer = false, false, false
+	s := NewSystem(cfg)
+	// Fill one LLC set with two lines, then force an eviction with a third.
+	sets := uint64(cfg.LLC.Sets())
+	base := uint64(0x5000_0000) >> LineShift
+	base -= base % sets // align to set 0
+	a0, a1, a2 := base<<LineShift, (base+sets)<<LineShift, (base+2*sets)<<LineShift
+	s.AccessData(0, a0, false, false, 0)
+	s.AccessData(0, a1, false, false, 10)
+	s.AccessData(0, a2, false, false, 20) // evicts a0 from LLC
+	// a0 must also have left the private caches (inclusion).
+	r := s.AccessData(0, a0, false, false, 100)
+	if !r.OffCore {
+		t.Fatal("inclusion violated: evicted LLC line still in private cache")
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	cfg := testSystemConfig(1, 1)
+	cfg.LLC = Config{SizeBytes: 8 * 64, Assoc: 2, LatencyCycles: 29}
+	cfg.AdjacentLine, cfg.HWPrefetcher, cfg.DCUStreamer = false, false, false
+	s := NewSystem(cfg)
+	sets := uint64(cfg.LLC.Sets())
+	base := uint64(0x5000_0000) >> LineShift
+	base -= base % sets
+	a0, a1, a2 := base<<LineShift, (base+sets)<<LineShift, (base+2*sets)<<LineShift
+	s.AccessData(0, a0, true, false, 0) // dirty
+	s.AccessData(0, a1, false, false, 10)
+	s.AccessData(0, a2, false, false, 20) // evicts dirty a0
+	if got := s.Ctr(0).OffchipWriteback; got != LineBytes {
+		t.Fatalf("OffchipWriteback = %d, want %d", got, LineBytes)
+	}
+	if s.DRAM().Writes() != 1 {
+		t.Fatalf("DRAM writes = %d, want 1", s.DRAM().Writes())
+	}
+}
+
+func TestAdjacentLinePrefetch(t *testing.T) {
+	cfg := testSystemConfig(1, 1)
+	cfg.AdjacentLine = true
+	cfg.HWPrefetcher, cfg.DCUStreamer = false, false
+	s := NewSystem(cfg)
+	addr := uint64(0x6000_0000) // line-pair aligned
+	s.AccessData(0, addr, false, false, 0)
+	// The buddy line should now be an L2 hit (prefetched).
+	r := s.AccessData(0, addr^LineBytes, false, false, 100)
+	if r.OffCore {
+		t.Fatal("adjacent line was not prefetched into L2")
+	}
+	if got := s.Ctr(0).PrefIssued; got == 0 {
+		t.Fatal("no prefetch recorded")
+	}
+	if got := s.Ctr(0).PrefUseful; got != 1 {
+		t.Fatalf("PrefUseful = %d, want 1", got)
+	}
+}
+
+func TestStridePrefetcherCatchesStreams(t *testing.T) {
+	cfg := testSystemConfig(1, 1)
+	cfg.AdjacentLine, cfg.DCUStreamer = false, false
+	cfg.HWPrefetcher = true
+	s := NewSystem(cfg)
+	base := uint64(0x7000_0000)
+	offcore := 0
+	for i := uint64(0); i < 30; i++ {
+		r := s.AccessData(0, base+i*LineBytes, false, false, int64(i*50))
+		if r.OffCore {
+			offcore++
+		}
+	}
+	// With a working stream prefetcher most of the 30 sequential lines
+	// should be covered after the ramp-up.
+	if offcore > 12 {
+		t.Fatalf("stream prefetcher ineffective: %d/30 accesses went off-core", offcore)
+	}
+}
+
+func TestPrefetchersCanBeDisabled(t *testing.T) {
+	cfg := testSystemConfig(1, 1)
+	cfg.AdjacentLine, cfg.HWPrefetcher, cfg.DCUStreamer = false, false, false
+	s := NewSystem(cfg)
+	base := uint64(0x7000_0000)
+	for i := uint64(0); i < 30; i++ {
+		s.AccessData(0, base+i*LineBytes, false, false, int64(i*50))
+	}
+	if got := s.Ctr(0).PrefIssued; got != 0 {
+		t.Fatalf("prefetches issued while disabled: %d", got)
+	}
+}
+
+// Property: the directory never reports an owner that is not also a
+// sharer, and repeated random traffic never corrupts hit/miss accounting
+// (hits+misses == accesses).
+func TestQuickSystemAccounting(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSystem(testSystemConfig(2, 2))
+		for i := 0; i < 3000; i++ {
+			core := rng.Intn(4)
+			addr := uint64(0x1000_0000) + uint64(rng.Intn(4096))*LineBytes
+			s.AccessData(core, addr, rng.Intn(4) == 0, rng.Intn(8) == 0, int64(i*10))
+		}
+		var access, hit, miss uint64
+		for c := 0; c < 4; c++ {
+			ctr := s.Ctr(c)
+			access += ctr.LLCAccess
+			hit += ctr.LLCHit
+			miss += ctr.LLCMiss
+		}
+		return access == hit+miss
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionedLLCInstructionLatency(t *testing.T) {
+	cfg := testSystemConfig(1, 1)
+	cfg.LLCInstrLatencyCycles = 9
+	s := NewSystem(cfg)
+	pc := uint64(0x40_0000)
+	s.FetchInstr(0, pc, 0, false) // fill LLC (and private caches)
+	// Evict from the private caches only by invalidating them directly.
+	s.cores[0].l1i.invalidate(pc >> LineShift)
+	s.cores[0].l2.invalidate(pc >> LineShift)
+	fr := s.FetchInstr(0, pc, 1000, false)
+	if got := fr.Done - 1000; got != 9 {
+		t.Fatalf("instruction LLC hit latency = %d, want replicated 9", got)
+	}
+	// Data accesses keep the uniform latency.
+	addr := uint64(0x5000_0000)
+	s.AccessData(0, addr, false, false, 2000)
+	s.cores[0].l1d.invalidate(addr >> LineShift)
+	s.cores[0].l2.invalidate(addr >> LineShift)
+	r := s.AccessData(0, addr, false, false, 3000)
+	if got := r.Done - 3000; got != int64(cfg.LLC.LatencyCycles) {
+		t.Fatalf("data LLC hit latency = %d, want %d", got, cfg.LLC.LatencyCycles)
+	}
+}
+
+// Property: inclusion — any line present in a private cache must also
+// be present in its socket's LLC, under arbitrary mixed traffic.
+func TestQuickInclusionInvariant(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSystem(testSystemConfig(1, 2))
+		for i := 0; i < 4000; i++ {
+			core := rng.Intn(2)
+			addr := uint64(0x1000_0000) + uint64(rng.Intn(2048))*LineBytes
+			if rng.Intn(3) == 0 {
+				s.FetchInstr(core, addr, int64(i*10), rng.Intn(6) == 0)
+			} else {
+				s.AccessData(core, addr, rng.Intn(4) == 0, rng.Intn(8) == 0, int64(i*10))
+			}
+		}
+		for c := 0; c < 2; c++ {
+			cc := &s.cores[c]
+			for _, pc := range []*Cache{cc.l1i, cc.l1d, cc.l2} {
+				for li := range pc.lines {
+					if !pc.lines[li].valid() {
+						continue
+					}
+					la := pc.lines[li].tag - 1
+					if !s.llcs[0].Contains(la) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the LLC directory's owner, when set, is always listed as a
+// sharer of the line.
+func TestQuickOwnerIsSharer(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSystem(testSystemConfig(1, 4))
+		for i := 0; i < 4000; i++ {
+			core := rng.Intn(4)
+			addr := uint64(0x2000_0000) + uint64(rng.Intn(1024))*LineBytes
+			s.AccessData(core, addr, rng.Intn(2) == 0, false, int64(i*10))
+		}
+		for li := range s.llcs[0].lines {
+			l := &s.llcs[0].lines[li]
+			if !l.valid() || l.owner < 0 {
+				continue
+			}
+			if l.sharers&(1<<uint(l.owner)) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIdleReadLatency(t *testing.T) {
+	c := New(Config{Channels: 2, AccessCycles: 100, TransferCycles: 10})
+	done := c.Read(0, 1000)
+	if done != 1100 {
+		t.Fatalf("idle read completes at %d, want 1100", done)
+	}
+}
+
+func TestChannelQueueing(t *testing.T) {
+	c := New(Config{Channels: 1, AccessCycles: 100, TransferCycles: 10})
+	d1 := c.Read(0, 0)
+	d2 := c.Read(1, 0) // same channel (1 channel): queues behind
+	if d2 <= d1 {
+		t.Fatalf("second read must queue: d1=%d d2=%d", d1, d2)
+	}
+	if d2 != d1+10 {
+		t.Fatalf("queueing delay = %d, want transfer time 10", d2-d1)
+	}
+}
+
+func TestChannelInterleave(t *testing.T) {
+	c := New(Config{Channels: 2, AccessCycles: 100, TransferCycles: 10})
+	d1 := c.Read(0, 0) // channel 0
+	d2 := c.Read(1, 0) // channel 1: independent
+	if d1 != d2 {
+		t.Fatalf("parallel channels should finish together: %d vs %d", d1, d2)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	c := New(Config{Channels: 2, AccessCycles: 100, TransferCycles: 10})
+	c.SetSpanStart(0)
+	for i := uint64(0); i < 10; i++ {
+		c.Read(i, int64(i*20))
+	}
+	// 10 transfers x 10 cycles over 2 channels x 200 cycles = 25%.
+	u := c.Utilization(200)
+	if u < 0.24 || u > 0.26 {
+		t.Fatalf("utilization = %f, want 0.25", u)
+	}
+}
+
+func TestWritesArePosted(t *testing.T) {
+	c := New(Config{Channels: 1, AccessCycles: 100, TransferCycles: 10})
+	start := c.Write(0, 50)
+	if start != 50 {
+		t.Fatalf("posted write accepted at %d, want 50", start)
+	}
+	if c.Writes() != 1 || c.Reads() != 0 {
+		t.Fatalf("write/read counts wrong: %d/%d", c.Writes(), c.Reads())
+	}
+}
+
+// Property: completion time never precedes request time + access
+// latency, and busy cycles grow monotonically.
+func TestQuickReadLatencyBound(t *testing.T) {
+	check := func(lines []uint64) bool {
+		c := New(Config{Channels: 3, AccessCycles: 100, TransferCycles: 10})
+		now := int64(0)
+		prevBusy := uint64(0)
+		for _, l := range lines {
+			done := c.Read(l, now)
+			if done < now+100 {
+				return false
+			}
+			if c.BusyCycles() < prevBusy {
+				return false
+			}
+			prevBusy = c.BusyCycles()
+			now += 5
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetQueuesClearsBacklog(t *testing.T) {
+	c := New(Config{Channels: 1, AccessCycles: 100, TransferCycles: 10})
+	// Build a backlog far into the future.
+	for i := uint64(0); i < 100; i++ {
+		c.Read(i, 0)
+	}
+	c.ResetQueues(50)
+	done := c.Read(0, 50)
+	if done != 150 {
+		t.Fatalf("read after reset completes at %d, want idle latency 150", done)
+	}
+}

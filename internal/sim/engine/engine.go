@@ -1,0 +1,637 @@
+// Package engine implements the cycle-approximate out-of-order core
+// model and the chip-level simulation loop. Together with the memory
+// system (internal/sim/cache) it is the stand-in for the Xeon X5670 of
+// Table 1: 4-wide issue and retire, a 128-entry reorder buffer, 36
+// reservation stations, 48/32-entry load/store queues, and optional
+// two-way simultaneous multi-threading.
+//
+// The model tracks what the paper's counters measure — commit slots,
+// stall cycles and their user/OS attribution, super-queue (off-core
+// request) occupancy for memory cycles and MLP, branch mispredictions,
+// and all cache-hierarchy events — without simulating wrong-path
+// execution or detailed scheduler ports. Section 3.1's measurement
+// definitions are implemented verbatim in the cycle loop.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"cloudsuite/internal/sim/bpred"
+	"cloudsuite/internal/sim/cache"
+	"cloudsuite/internal/sim/counters"
+	"cloudsuite/internal/sim/tlb"
+	"cloudsuite/internal/trace"
+)
+
+// CoreConfig sizes one core (Table 1 values by default).
+type CoreConfig struct {
+	// Width is the issue/retire width.
+	Width int
+	// ROB is the reorder-buffer capacity (shared between SMT contexts).
+	ROB int
+	// RS is the reservation-station count.
+	RS int
+	// LoadQ and StoreQ are load/store queue capacities.
+	LoadQ, StoreQ int
+	// MSHRs is the super-queue size: the maximum number of outstanding
+	// L1 data misses.
+	MSHRs int
+	// MispredictPenalty is the front-end refill time after a resolved
+	// mispredicted branch.
+	MispredictPenalty int
+	// ALULatency, MulLatency, FPLatency are execution latencies.
+	ALULatency, MulLatency, FPLatency int
+}
+
+// DefaultCoreConfig returns the Table-1 core: 4-wide, 128-entry ROB,
+// 36 reservation stations, 48/32 load/store buffers.
+func DefaultCoreConfig() CoreConfig {
+	return CoreConfig{
+		Width: 4, ROB: 128, RS: 36, LoadQ: 48, StoreQ: 32,
+		MSHRs: 16, MispredictPenalty: 14,
+		ALULatency: 1, MulLatency: 3, FPLatency: 4,
+	}
+}
+
+// Thread binds an instruction stream to a core. Placing two threads on
+// the same core models SMT.
+type Thread struct {
+	// Gen produces the thread's dynamic instruction stream.
+	Gen trace.Generator
+	// Core is the global core id the thread runs on.
+	Core int
+	// Measured threads count toward the measurement-window stop
+	// condition; helper threads (e.g. cache polluters) do not.
+	Measured bool
+}
+
+// RunConfig configures one simulation.
+type RunConfig struct {
+	Core CoreConfig
+	Mem  cache.SystemConfig
+	// WarmupInsts is the per-thread functional warm-up length: caches,
+	// TLBs and predictors are trained without timing, mirroring the
+	// paper's ramp-up period before the measurement window.
+	WarmupInsts int64
+	// MeasureInsts is the per-measured-thread instruction budget of the
+	// timed window.
+	MeasureInsts int64
+	// MaxCycles bounds the timed window as a safety net (0 = no bound).
+	MaxCycles int64
+}
+
+// Result carries the outcome of a run.
+type Result struct {
+	// Total sums the per-core counter blocks of all cores that ran a
+	// measured or helper thread.
+	Total counters.Counters
+	// PerCore holds each used core's counter block, indexed by global
+	// core id (nil for unused cores).
+	PerCore []*counters.Counters
+	// PerThread holds committed-instruction counts per thread.
+	PerThread []uint64
+	// Cycles is the timed-window length in cycles.
+	Cycles int64
+}
+
+const (
+	stWaiting uint8 = iota
+	stIssued
+	stDone
+)
+
+type entry struct {
+	inst    trace.Inst
+	doneAt  int64
+	status  uint8
+	offcore bool
+	l1Miss  bool
+}
+
+type context struct {
+	gen      trace.Generator
+	buf      []trace.Inst
+	bufPos   int
+	bufLen   int
+	eof      bool
+	measured bool
+	tid      int
+
+	window  []entry
+	head    int
+	tail    int
+	count   int
+	baseSeq int64 // dynamic seq of window head
+
+	fetchBlockedUntil int64
+	imissUntil        int64 // off-core or L2 instruction-stall window
+	redirectUntil     int64
+	pendingBranch     int64 // absolute seq of unresolved mispredict, -1
+	lastFetchLine     uint64
+	lastFetchPage     uint64
+	lastMode          bool // kernel flag of last dispatched inst
+	committed         uint64
+	committedUser     uint64
+}
+
+type core struct {
+	id   int
+	cfg  CoreConfig
+	ctxs []*context
+	bp   *bpred.Predictor
+	tlbs *tlb.Hierarchy
+
+	rsUsed int
+	lqUsed int
+	sqUsed int
+
+	superQ  []int64 // completion times of outstanding L1-D misses
+	offcore []int64 // completion times of outstanding off-core data reqs
+	tlbBusy int64
+
+	nextCtx int // round-robin pointer for SMT fairness
+}
+
+func (c *context) peek() (*trace.Inst, bool) {
+	if c.bufPos == c.bufLen {
+		if c.eof {
+			return nil, false
+		}
+		c.bufLen = c.gen.Next(c.buf)
+		c.bufPos = 0
+		if c.bufLen == 0 {
+			c.eof = true
+			return nil, false
+		}
+	}
+	return &c.buf[c.bufPos], true
+}
+
+func (c *context) advance() { c.bufPos++ }
+
+func (c *context) windowAt(i int) *entry { return &c.window[i%len(c.window)] }
+
+// depReady reports whether the dependence at backward distance d from
+// the instruction about to occupy absolute index seq is satisfied.
+func (c *context) depReady(seq int64, d int32, now int64) bool {
+	if d == 0 {
+		return true
+	}
+	p := seq - int64(d)
+	if p < c.baseSeq {
+		return true // producer already committed
+	}
+	idx := c.head + int(p-c.baseSeq)
+	e := c.windowAt(idx)
+	return e.status == stDone || (e.status == stIssued && e.doneAt <= now)
+}
+
+// Run simulates threads under cfg and returns the measured counters.
+func Run(cfg RunConfig, threads []Thread) (*Result, error) {
+	if len(threads) == 0 {
+		return nil, errors.New("engine: no threads")
+	}
+	if cfg.Core.Width == 0 {
+		cfg.Core = DefaultCoreConfig()
+	}
+	if cfg.Mem.TotalCores() == 0 {
+		cfg.Mem = cache.DefaultSystemConfig()
+	}
+	mem := cache.NewSystem(cfg.Mem)
+
+	perCore := map[int][]int{} // core id -> indices into threads
+	for i, t := range threads {
+		if t.Core < 0 || t.Core >= cfg.Mem.TotalCores() {
+			return nil, fmt.Errorf("engine: thread core %d out of range (%d cores)", t.Core, cfg.Mem.TotalCores())
+		}
+		perCore[t.Core] = append(perCore[t.Core], i)
+		if len(perCore[t.Core]) > 2 {
+			return nil, fmt.Errorf("engine: more than two threads on core %d", t.Core)
+		}
+	}
+
+	var cores []*core
+	for id := 0; id < cfg.Mem.TotalCores(); id++ {
+		ts, ok := perCore[id]
+		if !ok {
+			continue
+		}
+		co := &core{id: id, cfg: cfg.Core, bp: bpred.New(bpred.DefaultConfig()), tlbs: tlb.NewHierarchy()}
+		winPer := cfg.Core.ROB / len(ts)
+		for _, ti := range ts {
+			t := threads[ti]
+			ctx := &context{
+				gen: t.Gen, buf: make([]trace.Inst, 4096),
+				measured: t.Measured, tid: ti,
+				window:        make([]entry, winPer),
+				pendingBranch: -1,
+			}
+			co.ctxs = append(co.ctxs, ctx)
+		}
+		cores = append(cores, co)
+	}
+
+	// Functional warm-up: stream instructions through caches, TLBs and
+	// the branch predictor with a coarse pseudo-clock, then snapshot
+	// counters so the measured window reports deltas only.
+	warmClock := int64(0)
+	for _, co := range cores {
+		for _, ctx := range co.ctxs {
+			var fetched int64
+			var lastLine, lastPage uint64
+			for fetched < cfg.WarmupInsts {
+				in, ok := ctx.peek()
+				if !ok {
+					break
+				}
+				line := in.PC >> cache.LineShift
+				if line != lastLine {
+					page := in.PC >> 12
+					if page != lastPage {
+						co.tlbs.TranslateI(in.PC)
+						lastPage = page
+					}
+					mem.FetchInstr(co.id, in.PC, warmClock, in.Kernel)
+					lastLine = line
+				}
+				switch in.Op {
+				case trace.OpLoad, trace.OpStore:
+					co.tlbs.TranslateD(in.Addr)
+					mem.AccessData(co.id, in.Addr, in.Op == trace.OpStore, in.Kernel, warmClock)
+				case trace.OpBranch:
+					co.bp.Update(in.PC, in.Taken, in.Target)
+				}
+				ctx.advance()
+				fetched++
+				warmClock += 2
+			}
+		}
+	}
+
+	snapshots := make([]counters.Counters, cfg.Mem.TotalCores())
+	for _, co := range cores {
+		snapshots[co.id] = *mem.Ctr(co.id)
+	}
+	mem.DRAM().SetSpanStart(warmClock)
+	mem.DRAM().ResetQueues(warmClock)
+	dramBusyStart := mem.DRAM().BusyCycles()
+
+	now := warmClock
+	start := now
+	active := true
+	for active {
+		now++
+		if cfg.MaxCycles > 0 && now-start > cfg.MaxCycles {
+			break
+		}
+		for _, co := range cores {
+			co.cycle(now, mem, cfg)
+		}
+		// Stop when every measured thread has committed its budget.
+		active = false
+		for _, co := range cores {
+			for _, ctx := range co.ctxs {
+				if ctx.measured && ctx.committed < uint64(cfg.MeasureInsts) && !ctx.drained() {
+					active = true
+				}
+			}
+		}
+	}
+
+	res := &Result{
+		PerCore:   make([]*counters.Counters, cfg.Mem.TotalCores()),
+		PerThread: make([]uint64, len(threads)),
+		Cycles:    now - start,
+	}
+	for _, co := range cores {
+		d := mem.Ctr(co.id).Sub(&snapshots[co.id])
+		d.DRAMBusyCycles = 0 // chip-wide; reported in Total only
+		d.DRAMTotalCycles = 0
+		res.PerCore[co.id] = &d
+		res.Total.Add(&d)
+		for _, ctx := range co.ctxs {
+			res.PerThread[ctx.tid] = ctx.committed
+		}
+	}
+	// DRAM busy/span are chip-wide quantities, not per-core sums.
+	res.Total.DRAMBusyCycles = mem.DRAM().BusyCycles() - dramBusyStart
+	res.Total.DRAMTotalCycles = uint64(now - start)
+	res.Total.DRAMChannels = uint64(mem.DRAM().Config().Channels)
+	return res, nil
+}
+
+// drained reports whether the context has no more work: stream ended and
+// window empty.
+func (c *context) drained() bool { return c.eof && c.count == 0 && c.bufPos == c.bufLen }
+
+// cycle advances one core by one clock.
+func (co *core) cycle(now int64, mem *cache.System, cfg RunConfig) {
+	ctr := mem.Ctr(co.id)
+	ctr.Cycles++
+
+	co.expireMisses(now)
+
+	committedMode, committedAny := co.commit(now, mem)
+	co.issue(now, mem, ctr)
+	co.frontend(now, mem, ctr)
+
+	// Cycle classification (Figure 1). A cycle is Committing if at least
+	// one instruction retired; otherwise it is Stalled and attributed to
+	// the mode of the instruction blocking the head of the window (or
+	// the last fetched mode when the window is empty).
+	if committedAny {
+		if committedMode {
+			ctr.CommitCyclesOS++
+		} else {
+			ctr.CommitCyclesUser++
+		}
+	} else {
+		mode, empty := co.headMode()
+		if empty {
+			ctr.FetchStallCycles++
+		}
+		if mode {
+			ctr.StallCyclesOS++
+		} else {
+			ctr.StallCyclesUser++
+		}
+	}
+
+	// Memory cycles (Section 3.1): at least one off-core data request
+	// outstanding, instruction fetch stalled past the L1-I, or a TLB
+	// walk in progress.
+	if len(co.offcore) > 0 || co.tlbBusy > now || co.imissActive(now) {
+		ctr.MemCycles++
+	}
+	// Super-queue occupancy for MLP (Figure 3, right).
+	if n := len(co.superQ); n > 0 {
+		ctr.MLPSum += uint64(n)
+		ctr.MLPCycles++
+	}
+}
+
+func (co *core) imissActive(now int64) bool {
+	for _, ctx := range co.ctxs {
+		if ctx.imissUntil > now {
+			return true
+		}
+	}
+	return false
+}
+
+func (co *core) headMode() (kernel bool, windowEmpty bool) {
+	// Prefer the oldest head across contexts for attribution.
+	var found *context
+	for _, ctx := range co.ctxs {
+		if ctx.count == 0 {
+			continue
+		}
+		if found == nil || ctx.baseSeq < found.baseSeq {
+			found = ctx
+		}
+	}
+	if found == nil {
+		for _, ctx := range co.ctxs {
+			if ctx.lastMode {
+				return true, true
+			}
+		}
+		return false, true
+	}
+	return found.windowAt(found.head).inst.Kernel, false
+}
+
+func (co *core) expireMisses(now int64) {
+	co.superQ = expire(co.superQ, now)
+	co.offcore = expire(co.offcore, now)
+}
+
+func expire(q []int64, now int64) []int64 {
+	w := 0
+	for _, t := range q {
+		if t > now {
+			q[w] = t
+			w++
+		}
+	}
+	return q[:w]
+}
+
+// commit retires up to Width instructions across contexts, oldest head
+// first, and returns the mode of the first retiree.
+func (co *core) commit(now int64, mem *cache.System) (kernelMode bool, any bool) {
+	budget := co.cfg.Width
+	for budget > 0 {
+		// Pick the context whose head is ready, preferring round-robin
+		// fairness between SMT contexts.
+		var pick *context
+		for i := 0; i < len(co.ctxs); i++ {
+			ctx := co.ctxs[(co.nextCtx+i)%len(co.ctxs)]
+			if ctx.count == 0 {
+				continue
+			}
+			h := ctx.windowAt(ctx.head)
+			if h.status == stIssued && h.doneAt <= now {
+				h.status = stDone
+			}
+			if h.status == stDone {
+				pick = ctx
+				break
+			}
+		}
+		if pick == nil {
+			break
+		}
+		h := pick.windowAt(pick.head)
+		if h.inst.Op == trace.OpStore {
+			// Stores update the cache at retirement (store buffer drain).
+			mem.AccessData(co.id, h.inst.Addr, true, h.inst.Kernel, now)
+			co.sqUsed--
+		}
+		if h.inst.Op == trace.OpLoad {
+			co.lqUsed--
+		}
+		ctr := mem.Ctr(co.id)
+		if h.inst.Kernel {
+			ctr.CommitOS++
+		} else {
+			ctr.CommitUser++
+			pick.committedUser++
+		}
+		if !any {
+			any = true
+			kernelMode = h.inst.Kernel
+		}
+		pick.committed++
+		pick.head++
+		if pick.head >= len(pick.window) {
+			pick.head -= len(pick.window)
+		}
+		pick.count--
+		pick.baseSeq++
+		budget--
+	}
+	co.nextCtx++
+	return kernelMode, any
+}
+
+// issue wakes up to Width ready instructions and starts execution.
+func (co *core) issue(now int64, mem *cache.System, ctr *counters.Counters) {
+	budget := co.cfg.Width
+	for i := 0; i < len(co.ctxs) && budget > 0; i++ {
+		ctx := co.ctxs[(co.nextCtx+i)%len(co.ctxs)]
+		if ctx.count == 0 {
+			continue
+		}
+		idx := ctx.head
+		for n := 0; n < ctx.count && budget > 0; n++ {
+			e := ctx.windowAt(idx)
+			seq := ctx.baseSeq + int64(n)
+			idx++
+			if e.status != stWaiting {
+				continue
+			}
+			if !ctx.depReady(seq, e.inst.DepA, now) || !ctx.depReady(seq, e.inst.DepB, now) {
+				continue
+			}
+			switch e.inst.Op {
+			case trace.OpLoad:
+				if len(co.superQ) >= co.cfg.MSHRs {
+					continue // super queue full: cannot start the miss
+				}
+				lat, tres := co.tlbs.TranslateD(e.inst.Addr)
+				if tres == tlb.Walk {
+					ctr.STLBMiss++
+					if end := now + int64(lat); end > co.tlbBusy {
+						co.tlbBusy = end
+					}
+				} else if tres == tlb.HitL2 {
+					ctr.DTLBMiss++
+				}
+				r := mem.AccessData(co.id, e.inst.Addr, false, e.inst.Kernel, now)
+				e.doneAt = r.Done + int64(lat)
+				e.l1Miss = r.L1Miss
+				e.offcore = r.OffCore
+				if r.L1Miss {
+					co.superQ = append(co.superQ, e.doneAt)
+				}
+				if r.OffCore {
+					co.offcore = append(co.offcore, e.doneAt)
+				}
+			case trace.OpStore:
+				// Address+data ready; completion is immediate (the write
+				// happens at retirement through the store buffer).
+				e.doneAt = now + 1
+			case trace.OpBranch:
+				e.doneAt = now + 1
+				if ctx.pendingBranch == seq {
+					ctx.redirectUntil = e.doneAt + int64(co.cfg.MispredictPenalty)
+					ctx.pendingBranch = -1
+				}
+			case trace.OpMul:
+				e.doneAt = now + int64(co.cfg.MulLatency)
+			case trace.OpFP:
+				e.doneAt = now + int64(co.cfg.FPLatency)
+			default:
+				e.doneAt = now + int64(co.cfg.ALULatency)
+			}
+			e.status = stIssued
+			co.rsUsed--
+			budget--
+		}
+	}
+}
+
+// frontend fetches and dispatches up to Width instructions into the
+// window, honouring I-cache stalls, branch-mispredict redirects, and
+// structural limits (ROB, RS, LQ/SQ).
+func (co *core) frontend(now int64, mem *cache.System, ctr *counters.Counters) {
+	budget := co.cfg.Width
+	for i := 0; i < len(co.ctxs) && budget > 0; i++ {
+		ctx := co.ctxs[(co.nextCtx+i)%len(co.ctxs)]
+		for budget > 0 {
+			if ctx.fetchBlockedUntil > now || ctx.redirectUntil > now || ctx.pendingBranch >= 0 {
+				break
+			}
+			if ctx.count == len(ctx.window) || co.rsUsed >= co.cfg.RS {
+				break
+			}
+			in, ok := ctx.peek()
+			if !ok {
+				break
+			}
+			switch in.Op {
+			case trace.OpLoad:
+				if co.lqUsed >= co.cfg.LoadQ {
+					budget = 0
+					continue
+				}
+			case trace.OpStore:
+				if co.sqUsed >= co.cfg.StoreQ {
+					budget = 0
+					continue
+				}
+			}
+
+			// Instruction fetch: access the I-side on line transitions.
+			line := in.PC >> cache.LineShift
+			if line != ctx.lastFetchLine {
+				page := in.PC >> 12
+				if page != ctx.lastFetchPage {
+					lat, tres := co.tlbs.TranslateI(in.PC)
+					if tres != tlb.HitL1 {
+						ctr.ITLBMiss++
+						ctx.fetchBlockedUntil = now + int64(lat)
+						if end := now + int64(lat); end > co.tlbBusy {
+							co.tlbBusy = end
+						}
+					}
+					ctx.lastFetchPage = page
+				}
+				fr := mem.FetchInstr(co.id, in.PC, now, in.Kernel)
+				ctx.lastFetchLine = line
+				if fr.L1Miss {
+					if fr.Done > ctx.fetchBlockedUntil {
+						ctx.fetchBlockedUntil = fr.Done
+					}
+					if fr.Done > ctx.imissUntil {
+						ctx.imissUntil = fr.Done
+					}
+					break
+				}
+				if ctx.fetchBlockedUntil > now {
+					break
+				}
+			}
+
+			// Dispatch into the window.
+			slot := ctx.tail
+			e := ctx.windowAt(slot)
+			*e = entry{inst: *in, status: stWaiting}
+			ctx.tail++
+			if ctx.tail >= len(ctx.window) {
+				ctx.tail -= len(ctx.window)
+			}
+			ctx.count++
+			co.rsUsed++
+			ctx.lastMode = in.Kernel
+			switch in.Op {
+			case trace.OpLoad:
+				co.lqUsed++
+			case trace.OpStore:
+				co.sqUsed++
+			case trace.OpBranch:
+				ctr.Branches++
+				// Unconditional transfers (calls, returns, jumps) are
+				// handled by the BTB/RAS and never redirect late.
+				if !in.Uncond && co.bp.Predict(in.PC, in.Taken, in.Target) {
+					ctr.Mispredicts++
+					ctx.pendingBranch = ctx.baseSeq + int64(ctx.count) - 1
+				}
+			}
+			ctx.advance()
+			budget--
+		}
+	}
+}

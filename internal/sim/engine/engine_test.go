@@ -1,0 +1,299 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"cloudsuite/internal/sim/cache"
+	"cloudsuite/internal/trace"
+)
+
+// mkRun executes threads with a small measurement budget.
+func mkRun(t *testing.T, threads []Thread, measure int64) *Result {
+	t.Helper()
+	cfg := RunConfig{
+		Core:         DefaultCoreConfig(),
+		Mem:          cache.DefaultSystemConfig(),
+		WarmupInsts:  0,
+		MeasureInsts: measure,
+		MaxCycles:    20_000_000,
+	}
+	res, err := Run(cfg, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// aluStream builds a looped stream of ALU ops with the given dependence
+// distance (0 = independent). A single PC line avoids I-cache effects.
+func aluStream(dep int32, n int) trace.Generator {
+	insts := make([]trace.Inst, n)
+	for i := range insts {
+		d := dep
+		if int32(i) < dep {
+			d = 0
+		}
+		insts[i] = trace.Inst{PC: 0x400000, Op: trace.OpALU, DepA: d}
+	}
+	return &trace.LoopGen{Insts: insts}
+}
+
+// loadStream builds a looped stream of loads over span bytes; dep=1
+// chains each load's address on the previous one (pointer chasing).
+func loadStream(seed int64, span uint64, chained bool, n int) trace.Generator {
+	rng := rand.New(rand.NewSource(seed))
+	insts := make([]trace.Inst, n)
+	lines := span / 64
+	for i := range insts {
+		var d int32
+		if chained && i > 0 {
+			d = 1
+		}
+		insts[i] = trace.Inst{
+			PC: 0x400000, Op: trace.OpLoad,
+			Addr: 0x4000_0000 + uint64(rng.Int63n(int64(lines)))*64,
+			Size: 8, DepA: d, AcquiresDep: chained,
+		}
+	}
+	return &trace.LoopGen{Insts: insts}
+}
+
+func TestIndependentALUReachesFullWidth(t *testing.T) {
+	res := mkRun(t, []Thread{{Gen: aluStream(0, 1000), Core: 0, Measured: true}}, 40_000)
+	ipc := res.Total.IPC()
+	if ipc < 3.5 {
+		t.Fatalf("independent ALU IPC = %.2f, want near width 4", ipc)
+	}
+}
+
+func TestDependentChainSerializes(t *testing.T) {
+	res := mkRun(t, []Thread{{Gen: aluStream(1, 1000), Core: 0, Measured: true}}, 40_000)
+	ipc := res.Total.IPC()
+	if ipc < 0.7 || ipc > 1.4 {
+		t.Fatalf("dependent chain IPC = %.2f, want near 1", ipc)
+	}
+}
+
+func TestPointerChasingHasLowMLP(t *testing.T) {
+	res := mkRun(t, []Thread{{Gen: loadStream(1, 256<<20, true, 100_000), Core: 0, Measured: true}}, 30_000)
+	mlp := res.Total.MLP()
+	if mlp > 1.6 {
+		t.Fatalf("chained loads MLP = %.2f, want near 1", mlp)
+	}
+	if res.Total.StallFrac() < 0.5 {
+		t.Fatalf("memory-bound chain stalls only %.2f of cycles", res.Total.StallFrac())
+	}
+	if res.Total.MemCycleFrac() < 0.5 {
+		t.Fatalf("memory cycles %.2f, want majority", res.Total.MemCycleFrac())
+	}
+}
+
+func TestIndependentLoadsSaturateMLP(t *testing.T) {
+	res := mkRun(t, []Thread{{Gen: loadStream(2, 256<<20, false, 100_000), Core: 0, Measured: true}}, 30_000)
+	mlp := res.Total.MLP()
+	if mlp < 4 {
+		t.Fatalf("independent loads MLP = %.2f, want >= 4", mlp)
+	}
+}
+
+func TestSMTImprovesThroughputOfDependentThreads(t *testing.T) {
+	solo := mkRun(t, []Thread{{Gen: aluStream(2, 1000), Core: 0, Measured: true}}, 40_000)
+	smt := mkRun(t, []Thread{
+		{Gen: aluStream(2, 1000), Core: 0, Measured: true},
+		{Gen: aluStream(2, 1000), Core: 0, Measured: true},
+	}, 40_000)
+	// Per-core IPC with two contexts should clearly exceed one context.
+	if smt.Total.IPC() < solo.Total.IPC()*1.3 {
+		t.Fatalf("SMT IPC %.2f vs solo %.2f: no benefit", smt.Total.IPC(), solo.Total.IPC())
+	}
+}
+
+func TestKernelInstructionsAttributeToOS(t *testing.T) {
+	insts := make([]trace.Inst, 100)
+	for i := range insts {
+		insts[i] = trace.Inst{PC: 0xffff_ffff_8000_0000, Op: trace.OpALU, Kernel: true}
+	}
+	res := mkRun(t, []Thread{{Gen: &trace.LoopGen{Insts: insts}, Core: 0, Measured: true}}, 10_000)
+	if res.Total.CommitOS == 0 || res.Total.CommitUser != 0 {
+		t.Fatalf("attribution wrong: user=%d os=%d", res.Total.CommitUser, res.Total.CommitOS)
+	}
+	if res.Total.CommitCyclesOS == 0 {
+		t.Fatal("no OS committing cycles recorded")
+	}
+}
+
+func TestLargeCodeFootprintMissesICache(t *testing.T) {
+	// Walk a 4MB code region: every line is new until wrap, far beyond
+	// the 32KB L1-I.
+	var insts []trace.Inst
+	for pc := uint64(0x40_0000); pc < 0x40_0000+4<<20; pc += 64 {
+		for k := uint64(0); k < 16; k++ {
+			insts = append(insts, trace.Inst{PC: pc + k*4, Op: trace.OpALU})
+		}
+	}
+	res := mkRun(t, []Thread{{Gen: &trace.LoopGen{Insts: insts}, Core: 0, Measured: true}}, 50_000)
+	if mpki := res.Total.L1IMPKIUser(); mpki < 30 {
+		t.Fatalf("L1-I MPKI = %.1f, want large (code sweep)", mpki)
+	}
+	if res.Total.L2IMPKIUser() < 10 {
+		t.Fatalf("L2-I MPKI = %.1f, want large (4MB exceeds L2)", res.Total.L2IMPKIUser())
+	}
+}
+
+func TestTinyLoopHitsICache(t *testing.T) {
+	insts := make([]trace.Inst, 64)
+	for i := range insts {
+		insts[i] = trace.Inst{PC: 0x400000 + uint64(i)*4, Op: trace.OpALU}
+	}
+	res := mkRun(t, []Thread{{Gen: &trace.LoopGen{Insts: insts}, Core: 0, Measured: true}}, 50_000)
+	if mpki := res.Total.L1IMPKIUser(); mpki > 1 {
+		t.Fatalf("tiny loop L1-I MPKI = %.2f, want ~0", mpki)
+	}
+}
+
+func TestPerThreadBudgetsHonored(t *testing.T) {
+	res := mkRun(t, []Thread{
+		{Gen: aluStream(0, 1000), Core: 0, Measured: true},
+		{Gen: aluStream(0, 1000), Core: 1, Measured: true},
+	}, 20_000)
+	for i, n := range res.PerThread {
+		if n < 20_000 {
+			t.Errorf("thread %d committed %d, want >= 20000", i, n)
+		}
+	}
+}
+
+func TestUnmeasuredThreadDoesNotGateCompletion(t *testing.T) {
+	res := mkRun(t, []Thread{
+		{Gen: aluStream(0, 1000), Core: 0, Measured: true},
+		{Gen: loadStream(3, 64<<20, true, 100_000), Core: 1, Measured: false},
+	}, 20_000)
+	if res.PerThread[0] < 20_000 {
+		t.Fatalf("measured thread committed %d", res.PerThread[0])
+	}
+}
+
+func TestFiniteStreamTerminates(t *testing.T) {
+	insts := make([]trace.Inst, 5000)
+	for i := range insts {
+		insts[i] = trace.Inst{PC: 0x400000, Op: trace.OpALU}
+	}
+	res := mkRun(t, []Thread{{Gen: &trace.SliceGen{Insts: insts}, Core: 0, Measured: true}}, 1_000_000)
+	if res.PerThread[0] != 5000 {
+		t.Fatalf("committed %d, want exactly 5000", res.PerThread[0])
+	}
+}
+
+func TestMispredictsSlowRandomBranches(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	mk := func(random bool) trace.Generator {
+		insts := make([]trace.Inst, 10000)
+		for i := range insts {
+			taken := i%2 == 0
+			if random {
+				taken = rng.Intn(2) == 0
+			}
+			tgt := uint64(0x400000)
+			insts[i] = trace.Inst{PC: 0x400000 + uint64(i%16)*4, Op: trace.OpBranch, Taken: taken, Target: tgt}
+		}
+		return &trace.LoopGen{Insts: insts}
+	}
+	pred := mkRun(t, []Thread{{Gen: mk(false), Core: 0, Measured: true}}, 30_000)
+	rand_ := mkRun(t, []Thread{{Gen: mk(true), Core: 0, Measured: true}}, 30_000)
+	if rand_.Total.MispredictRate() < pred.Total.MispredictRate()+0.2 {
+		t.Fatalf("random branches mispredict %.2f vs patterned %.2f",
+			rand_.Total.MispredictRate(), pred.Total.MispredictRate())
+	}
+	if rand_.Total.IPC() >= pred.Total.IPC() {
+		t.Fatalf("mispredictions should cost IPC: random %.2f vs patterned %.2f",
+			rand_.Total.IPC(), pred.Total.IPC())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(RunConfig{}, nil); err == nil {
+		t.Fatal("no threads should error")
+	}
+	g := aluStream(0, 10)
+	if _, err := Run(RunConfig{}, []Thread{{Gen: g, Core: 99}}); err == nil {
+		t.Fatal("out of range core should error")
+	}
+	if _, err := Run(RunConfig{}, []Thread{{Gen: g, Core: 0}, {Gen: g, Core: 0}, {Gen: g, Core: 0}}); err == nil {
+		t.Fatal("three threads on one core should error")
+	}
+}
+
+func TestWarmupExcludedFromCounters(t *testing.T) {
+	// A stream over a 1MB data span: with warm-up, the measured window
+	// should see far fewer cold misses than without.
+	cold := mkRun(t, []Thread{{Gen: loadStream(5, 1<<20, false, 16384), Core: 0, Measured: true}}, 16_384)
+	cfg := RunConfig{
+		Core: DefaultCoreConfig(), Mem: cache.DefaultSystemConfig(),
+		WarmupInsts: 40_000, MeasureInsts: 16_384, MaxCycles: 20_000_000,
+	}
+	warm, err := Run(cfg, []Thread{{Gen: loadStream(5, 1<<20, false, 16384), Core: 0, Measured: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldMiss := float64(cold.Total.LLCMiss) / float64(cold.Total.Commits())
+	warmMiss := float64(warm.Total.LLCMiss) / float64(warm.Total.Commits())
+	if warmMiss > coldMiss*0.5 {
+		t.Fatalf("warm-up ineffective: cold %.4f vs warm %.4f LLC misses/inst", coldMiss, warmMiss)
+	}
+}
+
+// TestWarmupTrafficDoesNotQueueIntoWindow guards against warm-up DRAM
+// traffic leaving channel backlog that inflates measured latencies
+// (a bug found while reproducing Figure 4).
+func TestWarmupTrafficDoesNotQueueIntoWindow(t *testing.T) {
+	// A hungry co-runner whose warm-up floods DRAM.
+	flood := loadStream(9, 64<<20, false, 200_000)
+	victim := aluStream(0, 1000)
+	cfg := RunConfig{
+		Core: DefaultCoreConfig(), Mem: cache.DefaultSystemConfig(),
+		WarmupInsts: 150_000, MeasureInsts: 20_000, MaxCycles: 10_000_000,
+	}
+	res, err := Run(cfg, []Thread{
+		{Gen: victim, Core: 0, Measured: true},
+		{Gen: flood, Core: 1, Measured: false},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ALU victim never touches memory: its IPC must stay near the
+	// machine width regardless of the co-runner's warm-up traffic.
+	victimIPC := res.PerCore[0].IPC()
+	if victimIPC < 3 {
+		t.Fatalf("victim IPC %.2f: warm-up backlog leaked into the window", victimIPC)
+	}
+}
+
+// TestSMTSharesStructuresFairly: two identical SMT contexts must make
+// comparable progress (round-robin fetch/commit).
+func TestSMTSharesStructuresFairly(t *testing.T) {
+	res := mkRun(t, []Thread{
+		{Gen: aluStream(1, 1000), Core: 0, Measured: true},
+		{Gen: aluStream(1, 1000), Core: 0, Measured: true},
+	}, 30_000)
+	a, b := float64(res.PerThread[0]), float64(res.PerThread[1])
+	if a/b > 1.2 || b/a > 1.2 {
+		t.Fatalf("SMT contexts diverged: %v vs %v commits", a, b)
+	}
+}
+
+// TestMSHRLimitBoundsMLP: the super queue caps outstanding misses.
+func TestMSHRLimitBoundsMLP(t *testing.T) {
+	cfg := RunConfig{
+		Core: DefaultCoreConfig(), Mem: cache.DefaultSystemConfig(),
+		MeasureInsts: 20_000, MaxCycles: 10_000_000,
+	}
+	cfg.Core.MSHRs = 4
+	res, err := Run(cfg, []Thread{{Gen: loadStream(3, 256<<20, false, 100_000), Core: 0, Measured: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mlp := res.Total.MLP(); mlp > 4.2 {
+		t.Fatalf("MLP %.2f exceeds the 4-entry super queue", mlp)
+	}
+}

@@ -1,0 +1,117 @@
+// Package power is an event-based energy model: it converts the
+// performance-counter record of a run into energy, so designs can be
+// compared on the paper's own terms — per-operation energy and power
+// efficiency (the abstract's "improvements in the computational
+// density per server and in the per-operation energy").
+//
+// The model is deliberately coarse: each architectural event carries a
+// fixed energy cost, and each structure a leakage power proportional
+// to its size, with per-event costs scaled by the aggressiveness of
+// the core (a 4-wide out-of-order issue slot costs more than a 2-wide
+// one, reflecting the super-linear growth of scheduler, bypass and
+// ROB energy the paper describes in Section 2.1). Absolute joules are
+// not meaningful; ratios between machines are.
+package power
+
+import (
+	"cloudsuite/internal/sim/counters"
+)
+
+// Params carries the per-event energies (picojoules) and static powers
+// (milliwatts) of one machine configuration.
+type Params struct {
+	// PJPerCommit is the pipeline energy of committing one instruction
+	// (fetch, decode, rename, issue, writeback shares).
+	PJPerCommit float64
+	// PJPerL1 is the energy of one L1 (I or D) access.
+	PJPerL1 float64
+	// PJPerL2 is the energy of one L2 access.
+	PJPerL2 float64
+	// PJPerLLC is the energy of one LLC access.
+	PJPerLLC float64
+	// PJPerDRAMLine is the energy of transferring one 64B line off-chip.
+	PJPerDRAMLine float64
+	// MWLeakCore is per-core leakage+clock power.
+	MWLeakCore float64
+	// MWLeakLLCPerMB is LLC leakage per megabyte.
+	MWLeakLLCPerMB float64
+	// CoreCount and LLCMB describe the chip for leakage accounting.
+	CoreCount int
+	LLCMB     int
+	// GHz converts cycles to time for leakage energy.
+	GHz float64
+}
+
+// ConventionalParams models an aggressive 4-wide OoO server core
+// (Westmere-class) at 2.93GHz.
+func ConventionalParams(cores, llcMB int) Params {
+	return Params{
+		PJPerCommit: 220, PJPerL1: 25, PJPerL2: 60, PJPerLLC: 260,
+		PJPerDRAMLine: 3200,
+		MWLeakCore:    1400, MWLeakLLCPerMB: 180,
+		CoreCount: cores, LLCMB: llcMB, GHz: 2.93,
+	}
+}
+
+// ModestParams models a 2-wide out-of-order core: the paper's
+// Section 2.1 argument is that window and width costs grow
+// super-linearly, so the narrow core spends well under half the
+// per-instruction pipeline energy.
+func ModestParams(cores, llcMB int) Params {
+	return Params{
+		PJPerCommit: 80, PJPerL1: 25, PJPerL2: 45, PJPerLLC: 140,
+		PJPerDRAMLine: 3200,
+		MWLeakCore:    500, MWLeakLLCPerMB: 180,
+		CoreCount: cores, LLCMB: llcMB, GHz: 2.93,
+	}
+}
+
+// Report is the energy accounting of one measured window.
+type Report struct {
+	// DynamicPJ is the event (switching) energy in picojoules.
+	DynamicPJ float64
+	// LeakagePJ is the static energy over the window.
+	LeakagePJ float64
+	// Instructions is the committed-instruction count.
+	Instructions uint64
+	// Cycles is the window length in core cycles (per core).
+	Cycles uint64
+}
+
+// TotalPJ returns dynamic plus leakage energy.
+func (r Report) TotalPJ() float64 { return r.DynamicPJ + r.LeakagePJ }
+
+// PJPerInstruction returns the paper's per-operation energy metric.
+func (r Report) PJPerInstruction() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return r.TotalPJ() / float64(r.Instructions)
+}
+
+// Estimate converts a counter block into an energy report. The counter
+// block's Cycles field is the sum over cores; leakage uses the
+// wall-clock window (Cycles / active cores) times the whole chip.
+func Estimate(p Params, c *counters.Counters, activeCores int) Report {
+	if activeCores <= 0 {
+		activeCores = 1
+	}
+	var r Report
+	r.Instructions = c.Commits()
+	r.Cycles = c.Cycles / uint64(activeCores)
+
+	l1 := float64(c.L1DAccess + c.FetchL1IAccessUser + c.FetchL1IAccessOS)
+	l2 := float64(c.L2Access)
+	llc := float64(c.LLCAccess)
+	lines := float64(c.OffchipBytes()) / 64
+
+	r.DynamicPJ = p.PJPerCommit*float64(r.Instructions) +
+		p.PJPerL1*l1 + p.PJPerL2*l2 + p.PJPerLLC*llc +
+		p.PJPerDRAMLine*lines
+
+	// Leakage: whole chip (all cores + LLC) over the window.
+	seconds := float64(r.Cycles) / (p.GHz * 1e9)
+	leakMW := p.MWLeakCore*float64(p.CoreCount) + p.MWLeakLLCPerMB*float64(p.LLCMB)
+	r.LeakagePJ = leakMW * 1e-3 * seconds * 1e12 // mW * s -> pJ
+	return r
+}

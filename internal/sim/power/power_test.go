@@ -1,0 +1,65 @@
+package power
+
+import (
+	"testing"
+
+	"cloudsuite/internal/sim/counters"
+)
+
+func sampleCounters() *counters.Counters {
+	return &counters.Counters{
+		Cycles: 4 * 100_000, CommitUser: 300_000, CommitOS: 20_000,
+		L1DAccess: 90_000, FetchL1IAccessUser: 280_000, FetchL1IAccessOS: 20_000,
+		L2Access: 20_000, LLCAccess: 5_000,
+		OffchipReadUser: 64 * 2000, OffchipWriteback: 64 * 500,
+	}
+}
+
+func TestEstimatePositiveComponents(t *testing.T) {
+	p := ConventionalParams(6, 12)
+	r := Estimate(p, sampleCounters(), 4)
+	if r.DynamicPJ <= 0 || r.LeakagePJ <= 0 {
+		t.Fatalf("energy components must be positive: %+v", r)
+	}
+	if r.PJPerInstruction() <= 0 {
+		t.Fatal("per-instruction energy must be positive")
+	}
+	if r.Cycles != 100_000 {
+		t.Fatalf("window cycles = %d, want per-core 100000", r.Cycles)
+	}
+}
+
+func TestModestCoreUsesLessEnergyPerOp(t *testing.T) {
+	c := sampleCounters()
+	conv := Estimate(ConventionalParams(6, 12), c, 4)
+	modest := Estimate(ModestParams(12, 4), c, 4)
+	// Same work, modest design: lower pipeline energy and less LLC
+	// leakage despite more cores.
+	if modest.PJPerInstruction() >= conv.PJPerInstruction() {
+		t.Fatalf("modest core should spend less per op: %.1f vs %.1f pJ",
+			modest.PJPerInstruction(), conv.PJPerInstruction())
+	}
+}
+
+func TestLeakageScalesWithWindow(t *testing.T) {
+	p := ConventionalParams(6, 12)
+	c := sampleCounters()
+	short := Estimate(p, c, 4)
+	c2 := *c
+	c2.Cycles *= 2
+	long := Estimate(p, &c2, 4)
+	if long.LeakagePJ <= short.LeakagePJ {
+		t.Fatal("leakage must grow with window length")
+	}
+	if long.DynamicPJ != short.DynamicPJ {
+		t.Fatal("dynamic energy must not depend on window length")
+	}
+}
+
+func TestZeroSafe(t *testing.T) {
+	var c counters.Counters
+	r := Estimate(ConventionalParams(6, 12), &c, 0)
+	if r.PJPerInstruction() != 0 {
+		t.Fatal("zero work must report zero per-op energy")
+	}
+}

@@ -1,0 +1,83 @@
+package prefetch
+
+// Instruction prefetchers. The paper finds the next-line instruction
+// prefetchers of modern cores ineffective for scale-out workloads
+// (Section 4.1: "complex non-sequential access patterns that are not
+// captured by simple next-line prefetchers") and calls for predictors
+// of those patterns. Two models are provided:
+//
+//   - NextLineI: the conventional front-end prefetcher, fetching the
+//     sequentially next line on an I-miss;
+//   - StreamI: a temporal-stream instruction prefetcher in the spirit
+//     of the proactive instruction fetch literature the paper points
+//     toward: it records the miss sequence and, on a miss that starts
+//     a previously seen stream, replays the next several lines.
+//
+// The machine configuration selects which (if either) is active,
+// making the paper's "implications" a measurable experiment.
+
+// NextLineI is the conventional sequential instruction prefetcher.
+type NextLineI struct{}
+
+// OnMiss returns the lines to prefetch after a demand miss on lineAddr.
+func (NextLineI) OnMiss(lineAddr uint64) []uint64 {
+	return []uint64{lineAddr + 1}
+}
+
+// StreamI is a temporal-stream instruction prefetcher: a history table
+// maps a miss line to the sequence of lines that followed it last time.
+type StreamI struct {
+	// history maps a line to the lines that followed its last miss.
+	next    map[uint64][streamIDepth]uint64
+	recent  [streamIDepth + 1]uint64
+	filled  int
+	maxEnts int
+}
+
+const streamIDepth = 4
+
+// NewStreamI returns a stream prefetcher bounded to maxEntries history
+// entries (8K entries approximates a ~64KB on-chip history store).
+func NewStreamI(maxEntries int) *StreamI {
+	if maxEntries <= 0 {
+		maxEntries = 8192
+	}
+	return &StreamI{next: make(map[uint64][streamIDepth]uint64, maxEntries), maxEnts: maxEntries}
+}
+
+// OnMiss records the miss and returns the replay lines for lineAddr's
+// stream, if one is known.
+func (s *StreamI) OnMiss(lineAddr uint64) []uint64 {
+	// Record: the oldest line in the shift register gains a successor
+	// list consisting of the lines that followed it.
+	if s.filled == len(s.recent) {
+		head := s.recent[0]
+		var succ [streamIDepth]uint64
+		copy(succ[:], s.recent[1:])
+		if len(s.next) >= s.maxEnts {
+			// Bounded history: drop an arbitrary entry (hash-map victim),
+			// approximating a finite associative history table.
+			for k := range s.next {
+				delete(s.next, k)
+				break
+			}
+		}
+		s.next[head] = succ
+		copy(s.recent[:], s.recent[1:])
+		s.recent[len(s.recent)-1] = lineAddr
+	} else {
+		s.recent[s.filled] = lineAddr
+		s.filled++
+	}
+
+	if succ, ok := s.next[lineAddr]; ok {
+		out := make([]uint64, 0, streamIDepth)
+		for _, l := range succ {
+			if l != 0 {
+				out = append(out, l)
+			}
+		}
+		return out
+	}
+	return nil
+}

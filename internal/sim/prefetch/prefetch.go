@@ -1,0 +1,135 @@
+// Package prefetch implements the three hardware prefetchers of the
+// measured machine, named as in the processor documentation and BIOS
+// (Section 3 of the paper):
+//
+//   - the adjacent-line prefetcher, which pairs every L2 miss with a
+//     fetch of its 128-byte buddy line;
+//   - the "HW prefetcher", a per-core stride/stream prefetcher at the L2
+//     that detects ascending or descending line streams within a 4KB
+//     page and runs ahead of them;
+//   - the DCU streamer, an L1-D next-line prefetcher.
+//
+// Figure 5 of the paper toggles exactly these units.
+package prefetch
+
+// AdjacentLine returns the buddy line of lineAddr within its aligned
+// 128-byte pair.
+func AdjacentLine(lineAddr uint64) uint64 { return lineAddr ^ 1 }
+
+// Stride is the per-core L2 stream prefetcher ("HW prefetcher").
+// It tracks up to Streams independent 4KB-page streams; when a stream
+// sees Confidence consecutive accesses advancing in one direction, the
+// prefetcher issues requests Degree lines ahead of the demand stream.
+type Stride struct {
+	streams []stream
+	clock   uint64
+	out     []uint64
+	// Degree is how many lines ahead of a confirmed stream to prefetch.
+	Degree int
+	// Confidence is the number of same-direction advances required
+	// before a stream starts prefetching.
+	Confidence int
+}
+
+type stream struct {
+	page    uint64
+	lastOff int32 // last line offset within page (0..63)
+	dir     int32 // +1 ascending, -1 descending, 0 unknown
+	conf    int32
+	used    uint64 // LRU clock
+	valid   bool
+}
+
+// NewStride returns a stream prefetcher with Westmere-like parameters.
+func NewStride(streams int) *Stride {
+	if streams <= 0 {
+		streams = 16
+	}
+	return &Stride{streams: make([]stream, streams), Degree: 2, Confidence: 2}
+}
+
+// Observe feeds one demand line access to the detector and returns the
+// lines to prefetch (possibly none). The returned slice is valid until
+// the next call.
+func (s *Stride) Observe(lineAddr uint64) []uint64 {
+	const linesPerPage = 4096 / 64
+	page := lineAddr / linesPerPage
+	off := int32(lineAddr % linesPerPage)
+	s.clock++
+
+	var st *stream
+	victim := 0
+	for i := range s.streams {
+		if s.streams[i].valid && s.streams[i].page == page {
+			st = &s.streams[i]
+			break
+		}
+		if !s.streams[i].valid {
+			victim = i
+		} else if s.streams[victim].valid && s.streams[i].used < s.streams[victim].used {
+			victim = i
+		}
+	}
+	if st == nil {
+		s.streams[victim] = stream{page: page, lastOff: off, used: s.clock, valid: true}
+		return nil
+	}
+	st.used = s.clock
+	delta := off - st.lastOff
+	st.lastOff = off
+	var dir int32
+	switch {
+	case delta > 0 && delta <= 4:
+		dir = 1
+	case delta < 0 && delta >= -4:
+		dir = -1
+	default:
+		st.conf = 0
+		st.dir = 0
+		return nil
+	}
+	if dir == st.dir {
+		if st.conf < 8 {
+			st.conf++
+		}
+	} else {
+		st.dir = dir
+		st.conf = 1
+	}
+	if int(st.conf) < s.Confidence {
+		return nil
+	}
+	out := s.out[:0]
+	for i := 1; i <= s.Degree; i++ {
+		t := off + dir*int32(i)
+		if t < 0 || t >= linesPerPage {
+			break
+		}
+		out = append(out, page*linesPerPage+uint64(t))
+	}
+	s.out = out
+	return out
+}
+
+// DCU is the L1-D streamer: after two consecutive ascending line
+// accesses it prefetches the next line into the L1-D.
+type DCU struct {
+	lastLine uint64
+	runs     int
+}
+
+// Observe feeds one L1-D demand access and returns the line to prefetch,
+// or 0 if none. Line address 0 is never a valid prefetch target because
+// the simulated address space starts well above it.
+func (d *DCU) Observe(lineAddr uint64) uint64 {
+	if lineAddr == d.lastLine+1 {
+		d.runs++
+	} else {
+		d.runs = 0
+	}
+	d.lastLine = lineAddr
+	if d.runs >= 1 {
+		return lineAddr + 1
+	}
+	return 0
+}

@@ -1,0 +1,160 @@
+package prefetch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAdjacentLine(t *testing.T) {
+	if AdjacentLine(0) != 1 || AdjacentLine(1) != 0 {
+		t.Fatal("buddy pairing broken for pair 0/1")
+	}
+	if AdjacentLine(100) != 101 || AdjacentLine(101) != 100 {
+		t.Fatal("buddy pairing broken for pair 100/101")
+	}
+}
+
+// Property: AdjacentLine is an involution that stays within the aligned
+// 128-byte pair.
+func TestQuickAdjacentInvolution(t *testing.T) {
+	check := func(line uint64) bool {
+		b := AdjacentLine(line)
+		return AdjacentLine(b) == line && b/2 == line/2 && b != line
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrideDetectsAscendingStream(t *testing.T) {
+	s := NewStride(16)
+	base := uint64(1000 * 64) // line 64000, page-aligned region
+	var prefetched []uint64
+	for i := uint64(0); i < 8; i++ {
+		prefetched = append(prefetched, s.Observe(base+i)...)
+	}
+	if len(prefetched) == 0 {
+		t.Fatal("ascending stream produced no prefetches")
+	}
+	for _, p := range prefetched {
+		if p <= base {
+			t.Fatalf("prefetch %d behind the stream", p)
+		}
+	}
+}
+
+func TestStrideDetectsDescendingStream(t *testing.T) {
+	s := NewStride(16)
+	base := uint64(64128) // mid-page
+	var prefetched []uint64
+	for i := uint64(0); i < 8; i++ {
+		prefetched = append(prefetched, s.Observe(base-i)...)
+	}
+	if len(prefetched) == 0 {
+		t.Fatal("descending stream produced no prefetches")
+	}
+	for _, p := range prefetched {
+		if p >= base {
+			t.Fatalf("descending prefetch %d ahead of the stream", p)
+		}
+	}
+}
+
+func TestStrideIgnoresLargeJumps(t *testing.T) {
+	s := NewStride(16)
+	base := uint64(128 * 1024)
+	total := 0
+	// Jumps of 5+ lines within the page must never train the stream.
+	for i := uint64(0); i < 12; i++ {
+		total += len(s.Observe(base + i*5))
+	}
+	if total != 0 {
+		t.Fatalf("jumpy pattern triggered %d prefetches", total)
+	}
+}
+
+func TestStrideTracksMultipleStreams(t *testing.T) {
+	s := NewStride(4)
+	pageA, pageB := uint64(0), uint64(10*64)
+	got := 0
+	for i := uint64(0); i < 6; i++ {
+		got += len(s.Observe(pageA + i))
+		got += len(s.Observe(pageB + i))
+	}
+	if got < 4 {
+		t.Fatalf("interleaved streams under-prefetched: %d", got)
+	}
+}
+
+func TestStrideStopsAtPageBoundary(t *testing.T) {
+	s := NewStride(16)
+	const linesPerPage = 64
+	// Train right up to the end of a page.
+	for i := uint64(linesPerPage - 6); i < linesPerPage; i++ {
+		for _, p := range s.Observe(i) {
+			if p/linesPerPage != i/linesPerPage {
+				t.Fatalf("prefetch %d crossed the page boundary", p)
+			}
+		}
+	}
+}
+
+func TestDCUNextLine(t *testing.T) {
+	var d DCU
+	if d.Observe(100) != 0 {
+		t.Fatal("single access must not prefetch")
+	}
+	if got := d.Observe(101); got != 102 {
+		t.Fatalf("ascending pair should prefetch 102, got %d", got)
+	}
+	if d.Observe(500) != 0 {
+		t.Fatal("jump must reset the streamer")
+	}
+}
+
+func TestNextLineI(t *testing.T) {
+	var n NextLineI
+	got := n.OnMiss(100)
+	if len(got) != 1 || got[0] != 101 {
+		t.Fatalf("OnMiss(100) = %v", got)
+	}
+}
+
+func TestStreamIReplaysRecordedStream(t *testing.T) {
+	s := NewStreamI(64)
+	// Teach it a repeating miss sequence.
+	seq := []uint64{10, 20, 30, 40, 50, 60, 70, 80}
+	for pass := 0; pass < 3; pass++ {
+		for _, l := range seq {
+			s.OnMiss(l)
+		}
+	}
+	// A miss on the stream head must replay the followers.
+	got := s.OnMiss(10)
+	if len(got) == 0 {
+		t.Fatal("known stream produced no replay")
+	}
+	want := map[uint64]bool{20: true, 30: true, 40: true, 50: true}
+	for _, l := range got {
+		if !want[l] {
+			t.Fatalf("replayed unexpected line %d (got %v)", l, got)
+		}
+	}
+}
+
+func TestStreamIUnknownMissSilent(t *testing.T) {
+	s := NewStreamI(64)
+	if got := s.OnMiss(999); len(got) != 0 {
+		t.Fatalf("cold miss replayed %v", got)
+	}
+}
+
+func TestStreamIBoundedHistory(t *testing.T) {
+	s := NewStreamI(16)
+	for l := uint64(0); l < 10000; l++ {
+		s.OnMiss(l)
+	}
+	if len(s.next) > 16 {
+		t.Fatalf("history grew to %d entries, bound is 16", len(s.next))
+	}
+}

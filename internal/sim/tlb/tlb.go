@@ -1,0 +1,124 @@
+// Package tlb models the two-level TLB hierarchy of the Xeon X5670:
+// small first-level instruction and data TLBs backed by a shared
+// second-level TLB, with a fixed-cost page walk on a second-level miss.
+// TLB-walk cycles feed the "Memory cycles" bar of Figure 1, following
+// the paper's accounting (Section 3.1).
+package tlb
+
+// Config sizes one TLB.
+type Config struct {
+	Entries int
+	Assoc   int
+}
+
+// Result classifies a translation.
+type Result uint8
+
+// Translation outcomes.
+const (
+	HitL1 Result = iota
+	HitL2
+	Walk
+)
+
+// TLB is a set-associative translation buffer with LRU replacement.
+type TLB struct {
+	sets    int
+	assoc   int
+	tags    []uint64
+	stamps  []uint64
+	tick    uint64
+	setMask uint64
+}
+
+// New returns an empty TLB.
+func New(cfg Config) *TLB {
+	if cfg.Assoc <= 0 {
+		cfg.Assoc = 4
+	}
+	if cfg.Entries < cfg.Assoc {
+		cfg.Entries = cfg.Assoc
+	}
+	sets := cfg.Entries / cfg.Assoc
+	// Round sets down to a power of two for cheap indexing.
+	p := 1
+	for p*2 <= sets {
+		p *= 2
+	}
+	sets = p
+	return &TLB{
+		sets:    sets,
+		assoc:   cfg.Assoc,
+		tags:    make([]uint64, sets*cfg.Assoc),
+		stamps:  make([]uint64, sets*cfg.Assoc),
+		setMask: uint64(sets - 1),
+	}
+}
+
+// Lookup probes the TLB for the page containing addr (page number =
+// addr>>12) and inserts it on miss. It reports whether the probe hit.
+func (t *TLB) Lookup(addr uint64) bool {
+	page := addr >> 12
+	set := int(page&t.setMask) * t.assoc
+	t.tick++
+	victim, oldest := set, t.stamps[set]
+	for w := set; w < set+t.assoc; w++ {
+		if t.tags[w] == page+1 { // +1 so a zero tag is never valid
+			t.stamps[w] = t.tick
+			return true
+		}
+		if t.stamps[w] < oldest {
+			victim, oldest = w, t.stamps[w]
+		}
+	}
+	t.tags[victim] = page + 1
+	t.stamps[victim] = t.tick
+	return false
+}
+
+// Hierarchy bundles the first-level I/D TLBs with the shared second
+// level, mirroring the measured machine.
+type Hierarchy struct {
+	ITLB *TLB
+	DTLB *TLB
+	STLB *TLB
+	// WalkCycles is the fixed page-walk cost on a second-level miss.
+	WalkCycles int
+	// L2Cycles is the added cost of a first-level miss that hits the STLB.
+	L2Cycles int
+}
+
+// NewHierarchy returns a Westmere-like TLB hierarchy.
+func NewHierarchy() *Hierarchy {
+	return &Hierarchy{
+		ITLB:       New(Config{Entries: 128, Assoc: 4}),
+		DTLB:       New(Config{Entries: 64, Assoc: 4}),
+		STLB:       New(Config{Entries: 512, Assoc: 4}),
+		WalkCycles: 30,
+		L2Cycles:   7,
+	}
+}
+
+// TranslateI translates an instruction fetch and returns the added
+// latency in cycles together with the outcome class.
+func (h *Hierarchy) TranslateI(pc uint64) (int, Result) {
+	if h.ITLB.Lookup(pc) {
+		return 0, HitL1
+	}
+	if h.STLB.Lookup(pc) {
+		return h.L2Cycles, HitL2
+	}
+	return h.L2Cycles + h.WalkCycles, Walk
+}
+
+// TranslateD translates a data access and returns the added latency in
+// cycles together with the outcome class.
+func (h *Hierarchy) TranslateD(addr uint64) (int, Result) {
+	if h.DTLB.Lookup(addr) {
+		return 0, HitL1
+	}
+	if h.STLB.Lookup(addr) {
+		return h.L2Cycles, HitL2
+	}
+	return h.L2Cycles + h.WalkCycles, Walk
+}

@@ -1,0 +1,93 @@
+package tlb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLookupHitAfterInsert(t *testing.T) {
+	tb := New(Config{Entries: 64, Assoc: 4})
+	addr := uint64(0x1234_5000)
+	if tb.Lookup(addr) {
+		t.Fatal("cold TLB must miss")
+	}
+	if !tb.Lookup(addr) {
+		t.Fatal("second lookup must hit")
+	}
+	if !tb.Lookup(addr + 4095) {
+		t.Fatal("same page must hit")
+	}
+	if tb.Lookup(addr + 4096) {
+		t.Fatal("next page must miss")
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	tb := New(Config{Entries: 2, Assoc: 2}) // one set, two ways
+	p := func(i uint64) uint64 { return i * 4096 }
+	tb.Lookup(p(1))
+	tb.Lookup(p(2))
+	tb.Lookup(p(1)) // refresh 1
+	tb.Lookup(p(3)) // evicts 2
+	if !tb.Lookup(p(1)) {
+		t.Fatal("page 1 should have survived")
+	}
+	if tb.Lookup(p(2)) {
+		t.Fatal("page 2 should have been evicted")
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := NewHierarchy()
+	addr := uint64(0x7700_0000)
+	lat, res := h.TranslateD(addr)
+	if res != Walk || lat != h.L2Cycles+h.WalkCycles {
+		t.Fatalf("cold translate: res=%v lat=%d", res, lat)
+	}
+	lat, res = h.TranslateD(addr)
+	if res != HitL1 || lat != 0 {
+		t.Fatalf("warm translate: res=%v lat=%d", res, lat)
+	}
+	// Instruction side is independent of data side at L1...
+	lat, res = h.TranslateI(addr)
+	if res == HitL1 {
+		t.Fatal("ITLB should not have the page yet")
+	}
+	// ...but shares the STLB, so this was only an L2 hit, not a walk.
+	if lat != h.L2Cycles {
+		t.Fatalf("ITLB miss that hits STLB: lat=%d want %d", lat, h.L2Cycles)
+	}
+}
+
+// Property: a TLB with N entries never claims more than N distinct
+// resident pages (checked by counting hits over a fixed probe set).
+func TestQuickCapacityBound(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := New(Config{Entries: 16, Assoc: 4})
+		// Touch random pages.
+		for i := 0; i < 500; i++ {
+			tb.Lookup(uint64(rng.Intn(64)) * 4096)
+		}
+		// Count residents: a hit on first probe means resident. Probing
+		// changes state, so count hits over one pass of all pages.
+		hits := 0
+		for p := uint64(0); p < 64; p++ {
+			set := int(p & tb.setMask)
+			resident := false
+			for w := set * tb.assoc; w < (set+1)*tb.assoc; w++ {
+				if tb.tags[w] == p+1 {
+					resident = true
+				}
+			}
+			if resident {
+				hits++
+			}
+		}
+		return hits <= 16
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,495 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Val identifies a value produced earlier in the dynamic instruction
+// stream. Workload kernels thread Vals through their code to express the
+// data-flow the out-of-order model should see. The zero of the type is not
+// meaningful; use NoVal for "no dependence".
+type Val int64
+
+// NoVal marks the absence of a dependence.
+const NoVal Val = -1
+
+// Func is a static code region (one function) in the simulated program.
+// Instructions emitted while the function is active receive consecutive
+// PCs inside [Entry, Entry+4*Size), wrapping around like a loop body when
+// the dynamic instruction count exceeds the static size.
+type Func struct {
+	// Entry is the virtual address of the first instruction.
+	Entry uint64
+	// Size is the static size in instructions.
+	Size uint64
+	// Name is used in diagnostics only.
+	Name string
+	// BranchEntropy overrides the emitter default when >= 0: the
+	// probability that an automatically inserted branch in this function
+	// is data-dependent (hard to predict) rather than strongly biased.
+	BranchEntropy float64
+}
+
+// InstBytes is the size of one instruction in the simulated ISA. A fixed
+// 4-byte encoding keeps PC arithmetic trivial; with 64-byte cache lines
+// this yields 16 instructions per line, close to x86 server code density.
+const InstBytes = 4
+
+// CodeLayout allocates static code regions from a contiguous address
+// range. One layout is typically shared by all functions of a program
+// (user code) and a second one by the OS model (kernel code).
+type CodeLayout struct {
+	next uint64
+	end  uint64
+}
+
+// NewCodeLayout returns a layout allocating from [base, base+size).
+func NewCodeLayout(base, size uint64) *CodeLayout {
+	return &CodeLayout{next: base, end: base + size}
+}
+
+// Func carves a function of size instructions out of the layout.
+// It panics if the region is exhausted, which indicates a workload
+// configuration bug rather than a runtime condition.
+func (l *CodeLayout) Func(name string, size int) *Func {
+	if size <= 0 {
+		panic("trace: function size must be positive")
+	}
+	bytes := uint64(size) * InstBytes
+	// Align functions to cache lines like a real linker would; this makes
+	// instruction-cache footprints honest.
+	const lineMask = 63
+	l.next = (l.next + lineMask) &^ uint64(lineMask)
+	if l.next+bytes > l.end {
+		panic(fmt.Sprintf("trace: code layout exhausted allocating %s (%d insts)", name, size))
+	}
+	f := &Func{Entry: l.next, Size: uint64(size), Name: name, BranchEntropy: -1}
+	l.next += bytes
+	return f
+}
+
+// Used reports the number of code bytes allocated so far.
+func (l *CodeLayout) Used() uint64 { return l.next }
+
+// EmitterConfig tunes the synthetic control-flow the emitter weaves
+// around the data-flow provided by the workload kernel.
+type EmitterConfig struct {
+	// BlockLen is the mean number of instructions between automatically
+	// inserted branches. Typical compiled code has a branch every 5-7
+	// instructions. Zero selects the default of 6.
+	BlockLen int
+	// BranchEntropy is the probability that an auto-inserted branch is
+	// data-dependent (50% taken, unpredictable) instead of strongly
+	// biased. Predictable code (tight loops) has low entropy; interpreter
+	// dispatch and search heuristics have high entropy.
+	BranchEntropy float64
+	// Seed initialises the emitter's private random stream.
+	Seed int64
+	// BatchLen is the channel batch size used by Start. Zero selects 2048.
+	BatchLen int
+}
+
+// Emitter converts workload-level events (loads, stores, compute,
+// function calls) into the dynamic instruction stream consumed by the
+// simulator. It maintains the program counter, inserts realistic
+// control flow, and converts Val handles into dependence distances.
+//
+// Emitters are created by Start and must only be used from the workload
+// goroutine that Start runs.
+type Emitter struct {
+	cfg   EmitterConfig
+	rng   *rand.Rand
+	buf   []Inst
+	n     int
+	seq   int64 // absolute index of the next instruction
+	ch    chan<- []Inst
+	stop  <-chan struct{}
+	funcs []frame // call stack
+	// untilBranch counts down instructions until the next auto branch.
+	untilBranch int
+	kernelDepth int
+}
+
+type frame struct {
+	fn  *Func
+	pc  uint64 // next PC to assign inside fn
+	ret frameRet
+}
+
+type frameRet struct {
+	fn *Func
+	pc uint64
+}
+
+// stopEmit unwinds the workload goroutine when the generator is closed.
+type stopEmit struct{}
+
+func newEmitter(cfg EmitterConfig, ch chan<- []Inst, stop <-chan struct{}) *Emitter {
+	if cfg.BlockLen <= 0 {
+		cfg.BlockLen = 6
+	}
+	if cfg.BatchLen <= 0 {
+		cfg.BatchLen = 2048
+	}
+	e := &Emitter{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		buf:  make([]Inst, cfg.BatchLen),
+		ch:   ch,
+		stop: stop,
+	}
+	e.untilBranch = e.nextBlockLen()
+	return e
+}
+
+func (e *Emitter) nextBlockLen() int {
+	// Jitter block length between half and 1.5x the mean.
+	bl := e.cfg.BlockLen
+	return bl/2 + 1 + e.rng.Intn(bl)
+}
+
+// Seq returns the absolute dynamic index of the next instruction.
+// Workloads rarely need it directly; it is exposed for tests.
+func (e *Emitter) Seq() int64 { return e.seq }
+
+// Rand returns the emitter's private random stream, for workloads that
+// need reproducible randomness tied to the thread seed.
+func (e *Emitter) Rand() *rand.Rand { return e.rng }
+
+func (e *Emitter) flush() {
+	if e.n == 0 {
+		return
+	}
+	batch := e.buf[:e.n:e.n]
+	select {
+	case e.ch <- batch:
+	case <-e.stop:
+		panic(stopEmit{})
+	}
+	e.buf = make([]Inst, e.cfg.BatchLen)
+	e.n = 0
+}
+
+func (e *Emitter) dist(v Val) int32 {
+	if v < 0 {
+		return 0
+	}
+	d := e.seq - int64(v)
+	if d <= 0 {
+		panic("trace: dependence on a not-yet-emitted value")
+	}
+	const maxDist = 1 << 24
+	if d > maxDist {
+		return 0 // far outside any realistic instruction window
+	}
+	return int32(d)
+}
+
+// curFrame panics if no function is active: every instruction must belong
+// to a Func so the instruction cache sees a meaningful PC.
+func (e *Emitter) curFrame() *frame {
+	if len(e.funcs) == 0 {
+		panic("trace: emitting outside any function; use Call first")
+	}
+	return &e.funcs[len(e.funcs)-1]
+}
+
+func (e *Emitter) nextPC() uint64 {
+	fr := e.curFrame()
+	pc := fr.pc
+	fr.pc += InstBytes
+	limit := fr.fn.Entry + fr.fn.Size*InstBytes
+	if fr.pc >= limit {
+		// Wrap like a loop: re-execute the body from shortly after entry.
+		fr.pc = fr.fn.Entry
+	}
+	return pc
+}
+
+func (e *Emitter) push(i Inst) Val {
+	if e.n == len(e.buf) {
+		e.flush()
+	}
+	i.Kernel = e.kernelDepth > 0
+	e.buf[e.n] = i
+	e.n++
+	v := Val(e.seq)
+	e.seq++
+
+	// Interleave synthetic control flow. The branch belongs to the same
+	// function and usually falls through; sometimes it jumps backwards a
+	// short distance (loop) which keeps the footprint identical.
+	if i.Op != OpBranch {
+		e.untilBranch--
+		if e.untilBranch <= 0 {
+			e.untilBranch = e.nextBlockLen()
+			e.autoBranch()
+		}
+	}
+	return v
+}
+
+func (e *Emitter) autoBranch() {
+	fr := e.curFrame()
+	entropy := e.cfg.BranchEntropy
+	if fr.fn.BranchEntropy >= 0 {
+		entropy = fr.fn.BranchEntropy
+	}
+	pc := e.nextPC()
+	var taken bool
+	var dep int32
+	if e.rng.Float64() < entropy {
+		// Data-dependent branch: weakly biased outcome that depends on a
+		// recent value (real data-dependent branches are rarely 50/50).
+		taken = e.rng.Float64() < 0.3
+		dep = 1
+	} else {
+		// Strongly biased branch, mostly not taken (fall through a check).
+		taken = e.rng.Float64() < 0.04
+	}
+	target := pc
+	if taken {
+		// Short jump within the function; the target is a fixed function
+		// of the branch PC (real branches have static targets, so the
+		// BTB can learn them).
+		span := int64(fr.fn.Size) * InstBytes
+		h := pc * 0x9e3779b97f4a7c15
+		off := (int64(h>>33)%8 + 1) * InstBytes
+		if h&(1<<32) != 0 {
+			off = -off
+		}
+		t := int64(pc) + off
+		lo, hi := int64(fr.fn.Entry), int64(fr.fn.Entry)+span-InstBytes
+		if t < lo {
+			t = lo
+		}
+		if t > hi {
+			t = hi
+		}
+		target = uint64(t)
+		fr.pc = target + InstBytes
+		limit := fr.fn.Entry + fr.fn.Size*InstBytes
+		if fr.pc >= limit {
+			fr.pc = fr.fn.Entry
+		}
+	}
+	if e.n == len(e.buf) {
+		e.flush()
+	}
+	e.buf[e.n] = Inst{PC: pc, Op: OpBranch, Taken: taken, Target: target, DepA: dep, Kernel: e.kernelDepth > 0}
+	e.n++
+	e.seq++
+}
+
+// Call enters fn: it emits the call branch and redirects the PC stream to
+// the function body. Every Call must be paired with Ret.
+func (e *Emitter) Call(fn *Func) {
+	if len(e.funcs) > 0 {
+		fr := e.curFrame()
+		pc := e.nextPC()
+		if e.n == len(e.buf) {
+			e.flush()
+		}
+		e.buf[e.n] = Inst{PC: pc, Op: OpBranch, Taken: true, Uncond: true, Target: fn.Entry, Kernel: e.kernelDepth > 0}
+		e.n++
+		e.seq++
+		e.funcs = append(e.funcs, frame{fn: fn, pc: fn.Entry, ret: frameRet{fn: fr.fn, pc: fr.pc}})
+		return
+	}
+	e.funcs = append(e.funcs, frame{fn: fn, pc: fn.Entry})
+}
+
+// Ret leaves the current function, emitting the return branch.
+func (e *Emitter) Ret() {
+	if len(e.funcs) == 0 {
+		panic("trace: Ret without Call")
+	}
+	fr := e.funcs[len(e.funcs)-1]
+	e.funcs = e.funcs[:len(e.funcs)-1]
+	if fr.ret.fn != nil {
+		pc := fr.pc
+		if e.n == len(e.buf) {
+			e.flush()
+		}
+		e.buf[e.n] = Inst{PC: pc, Op: OpBranch, Taken: true, Uncond: true, Target: fr.ret.pc, Kernel: e.kernelDepth > 0}
+		e.n++
+		e.seq++
+	}
+}
+
+// InFunc runs body inside fn, handling the Call/Ret pairing.
+func (e *Emitter) InFunc(fn *Func, body func()) {
+	e.Call(fn)
+	body()
+	e.Ret()
+}
+
+// InKernel runs body in kernel mode inside fn. The OS model uses this for
+// syscall handlers, interrupt paths, and kernel threads.
+func (e *Emitter) InKernel(fn *Func, body func()) {
+	e.kernelDepth++
+	e.InFunc(fn, body)
+	e.kernelDepth--
+}
+
+// Kernel reports whether the emitter is currently in kernel mode.
+func (e *Emitter) Kernel() bool { return e.kernelDepth > 0 }
+
+// Load emits a load of size bytes from addr. dep is the value the address
+// computation consumes (NoVal for none); chase marks address-generating
+// dependences (pointer chasing), which serialise memory-level parallelism.
+func (e *Emitter) Load(addr uint64, size int, dep Val, chase bool) Val {
+	return e.push(Inst{
+		PC: e.nextPC(), Op: OpLoad, Addr: addr, Size: uint8(size),
+		DepA: e.dist(dep), AcquiresDep: chase && dep >= 0,
+	})
+}
+
+// Store emits a store of size bytes to addr, consuming up to two values.
+func (e *Emitter) Store(addr uint64, size int, a, b Val) {
+	e.push(Inst{
+		PC: e.nextPC(), Op: OpStore, Addr: addr, Size: uint8(size),
+		DepA: e.dist(a), DepB: e.dist(b),
+	})
+}
+
+// ALU emits one integer op consuming a and b.
+func (e *Emitter) ALU(a, b Val) Val {
+	return e.push(Inst{PC: e.nextPC(), Op: OpALU, DepA: e.dist(a), DepB: e.dist(b)})
+}
+
+// FP emits one floating-point op consuming a and b.
+func (e *Emitter) FP(a, b Val) Val {
+	return e.push(Inst{PC: e.nextPC(), Op: OpFP, DepA: e.dist(a), DepB: e.dist(b)})
+}
+
+// Mul emits one multiply consuming a and b.
+func (e *Emitter) Mul(a, b Val) Val {
+	return e.push(Inst{PC: e.nextPC(), Op: OpMul, DepA: e.dist(a), DepB: e.dist(b)})
+}
+
+// ALUChain emits n serially dependent integer ops seeded by dep and
+// returns the final value. It models address arithmetic, comparisons and
+// other short dependent computations.
+func (e *Emitter) ALUChain(n int, dep Val) Val {
+	v := dep
+	for i := 0; i < n; i++ {
+		v = e.ALU(v, NoVal)
+	}
+	return v
+}
+
+// ALUIndep emits n mutually independent integer ops (abundant ILP) and
+// returns the last one.
+func (e *Emitter) ALUIndep(n int) Val {
+	v := NoVal
+	for i := 0; i < n; i++ {
+		v = e.ALU(NoVal, NoVal)
+	}
+	return v
+}
+
+// FPChain emits n serially dependent floating-point ops.
+func (e *Emitter) FPChain(n int, dep Val) Val {
+	v := dep
+	for i := 0; i < n; i++ {
+		v = e.FP(v, NoVal)
+	}
+	return v
+}
+
+// Branch emits an explicit conditional branch whose outcome the workload
+// controls (taken), consuming dep. Explicit branches express data-
+// dependent control flow such as comparison results during a tree search.
+func (e *Emitter) Branch(taken bool, dep Val) {
+	fr := e.curFrame()
+	pc := e.nextPC()
+	target := pc
+	if taken {
+		h := pc * 0x9e3779b97f4a7c15
+		t := int64(pc) + (int64(h>>40)%6+1)*InstBytes
+		hi := int64(fr.fn.Entry) + int64(fr.fn.Size-1)*InstBytes
+		if t > hi {
+			t = hi
+		}
+		target = uint64(t)
+		fr.pc = target + InstBytes
+		limit := fr.fn.Entry + fr.fn.Size*InstBytes
+		if fr.pc >= limit {
+			fr.pc = fr.fn.Entry
+		}
+	}
+	e.push(Inst{PC: pc, Op: OpBranch, Taken: taken, Target: target, DepA: e.dist(dep)})
+}
+
+// ChanGen adapts a channel of batches to the Generator interface.
+// It is produced by Start and owns the background workload goroutine.
+type ChanGen struct {
+	ch   chan []Inst
+	stop chan struct{}
+	cur  []Inst
+	pos  int
+	done bool
+}
+
+// Next implements Generator.
+func (g *ChanGen) Next(out []Inst) int {
+	total := 0
+	for total < len(out) {
+		if g.pos == len(g.cur) {
+			if g.done {
+				break
+			}
+			batch, ok := <-g.ch
+			if !ok {
+				g.done = true
+				break
+			}
+			g.cur, g.pos = batch, 0
+		}
+		n := copy(out[total:], g.cur[g.pos:])
+		g.pos += n
+		total += n
+	}
+	return total
+}
+
+// Close terminates the workload goroutine, drains the channel, and
+// discards any buffered instructions.
+func (g *ChanGen) Close() {
+	select {
+	case <-g.stop:
+	default:
+		close(g.stop)
+	}
+	for range g.ch {
+	}
+	g.cur, g.pos = nil, 0
+	g.done = true
+}
+
+// Start launches run on its own goroutine with a fresh Emitter and
+// returns the generator producing its instruction stream. When run
+// returns, the stream ends. When the generator is closed, the goroutine
+// is unwound at its next emission.
+func Start(cfg EmitterConfig, run func(*Emitter)) *ChanGen {
+	ch := make(chan []Inst, 4)
+	stop := make(chan struct{})
+	g := &ChanGen{ch: ch, stop: stop}
+	go func() {
+		defer close(ch)
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(stopEmit); ok {
+					return // generator closed; normal shutdown
+				}
+				panic(r)
+			}
+		}()
+		e := newEmitter(cfg, ch, stop)
+		run(e)
+		e.flush()
+	}()
+	return g
+}

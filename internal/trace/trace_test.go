@@ -1,0 +1,283 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	for op := OpALU; op < numOps; op++ {
+		if op.String() == "op?" {
+			t.Errorf("op %d has no mnemonic", op)
+		}
+	}
+	if Op(200).String() != "op?" {
+		t.Errorf("unknown op should stringify to op?")
+	}
+}
+
+func TestIsMem(t *testing.T) {
+	if !OpLoad.IsMem() || !OpStore.IsMem() {
+		t.Fatal("loads and stores are memory ops")
+	}
+	if OpALU.IsMem() || OpBranch.IsMem() {
+		t.Fatal("ALU/branch are not memory ops")
+	}
+}
+
+func TestSliceGen(t *testing.T) {
+	insts := []Inst{{PC: 1}, {PC: 2}, {PC: 3}}
+	g := &SliceGen{Insts: insts}
+	out := make([]Inst, 2)
+	if n := g.Next(out); n != 2 || out[0].PC != 1 || out[1].PC != 2 {
+		t.Fatalf("first batch wrong: n=%d out=%v", n, out[:n])
+	}
+	if n := g.Next(out); n != 1 || out[0].PC != 3 {
+		t.Fatalf("second batch wrong: n=%d", n)
+	}
+	if n := g.Next(out); n != 0 {
+		t.Fatalf("exhausted generator returned %d", n)
+	}
+	g.Reset()
+	if n := g.Next(out); n != 2 {
+		t.Fatalf("reset did not rewind: n=%d", n)
+	}
+}
+
+func TestLoopGenWrapsForever(t *testing.T) {
+	g := &LoopGen{Insts: []Inst{{PC: 10}, {PC: 20}}}
+	out := make([]Inst, 5)
+	if n := g.Next(out); n != 5 {
+		t.Fatalf("loop generator should always fill: n=%d", n)
+	}
+	want := []uint64{10, 20, 10, 20, 10}
+	for i, w := range want {
+		if out[i].PC != w {
+			t.Errorf("out[%d].PC = %d, want %d", i, out[i].PC, w)
+		}
+	}
+}
+
+func TestLoopGenEmpty(t *testing.T) {
+	g := &LoopGen{}
+	if n := g.Next(make([]Inst, 4)); n != 0 {
+		t.Fatalf("empty loop generator returned %d", n)
+	}
+}
+
+func TestCodeLayoutAllocation(t *testing.T) {
+	l := NewCodeLayout(0x400000, 1<<20)
+	f1 := l.Func("a", 100)
+	f2 := l.Func("b", 10)
+	if f1.Entry%64 != 0 || f2.Entry%64 != 0 {
+		t.Errorf("functions must be line aligned: %x %x", f1.Entry, f2.Entry)
+	}
+	if f2.Entry < f1.Entry+f1.Size*InstBytes {
+		t.Errorf("functions overlap: f1=[%x,+%d) f2=%x", f1.Entry, f1.Size*InstBytes, f2.Entry)
+	}
+}
+
+func TestCodeLayoutExhaustionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on exhausted layout")
+		}
+	}()
+	l := NewCodeLayout(0, 128)
+	l.Func("too-big", 1000)
+}
+
+// collect drains up to n instructions from a one-shot workload body.
+func collect(t *testing.T, n int, body func(e *Emitter)) []Inst {
+	t.Helper()
+	g := Start(EmitterConfig{Seed: 1}, body)
+	defer g.Close()
+	out := make([]Inst, n)
+	got := 0
+	for got < n {
+		k := g.Next(out[got:])
+		if k == 0 {
+			break
+		}
+		got += k
+	}
+	return out[:got]
+}
+
+func TestEmitterPCsStayInFunction(t *testing.T) {
+	l := NewCodeLayout(0x400000, 1<<20)
+	f := l.Func("f", 64)
+	insts := collect(t, 500, func(e *Emitter) {
+		e.InFunc(f, func() {
+			for i := 0; i < 600; i++ {
+				e.ALU(NoVal, NoVal)
+			}
+		})
+	})
+	if len(insts) < 400 {
+		t.Fatalf("too few instructions: %d", len(insts))
+	}
+	lo, hi := f.Entry, f.Entry+f.Size*InstBytes
+	for i, in := range insts {
+		if in.PC < lo || in.PC >= hi {
+			t.Fatalf("inst %d PC %#x outside function [%#x,%#x)", i, in.PC, lo, hi)
+		}
+	}
+}
+
+func TestEmitterDependenceDistances(t *testing.T) {
+	l := NewCodeLayout(0x400000, 1<<20)
+	f := l.Func("f", 64)
+	// Use a huge block length to suppress auto branches so distances are
+	// exactly deterministic.
+	g := Start(EmitterConfig{Seed: 1, BlockLen: 1 << 20}, func(e *Emitter) {
+		e.InFunc(f, func() {
+			v := e.Load(0x1000, 8, NoVal, false)
+			e.ALU(v, NoVal) // distance 1
+			e.ALU(v, NoVal) // distance 2
+		})
+	})
+	defer g.Close()
+	out := make([]Inst, 16)
+	n := g.Next(out)
+	if n < 3 {
+		t.Fatalf("expected at least 3 insts, got %d", n)
+	}
+	if out[0].Op != OpLoad {
+		t.Fatalf("first inst should be the load, got %v", out[0].Op)
+	}
+	if out[1].DepA != 1 {
+		t.Errorf("second inst DepA = %d, want 1", out[1].DepA)
+	}
+	if out[2].DepA != 2 {
+		t.Errorf("third inst DepA = %d, want 2", out[2].DepA)
+	}
+}
+
+func TestEmitterKernelMode(t *testing.T) {
+	ul := NewCodeLayout(0x400000, 1<<20)
+	kl := NewCodeLayout(0xffff0000, 1<<20)
+	uf := ul.Func("user", 64)
+	kf := kl.Func("kern", 64)
+	insts := collect(t, 200, func(e *Emitter) {
+		e.InFunc(uf, func() {
+			e.ALUIndep(20)
+			e.InKernel(kf, func() {
+				e.ALUIndep(50)
+			})
+			e.ALUIndep(20)
+		})
+	})
+	sawKernel, sawUser := false, false
+	for _, in := range insts {
+		if in.Kernel {
+			sawKernel = true
+			if in.PC < 0xffff0000 && in.Op != OpBranch {
+				t.Fatalf("kernel inst with user PC %#x", in.PC)
+			}
+		} else {
+			sawUser = true
+		}
+	}
+	if !sawKernel || !sawUser {
+		t.Fatalf("expected both modes: kernel=%v user=%v", sawKernel, sawUser)
+	}
+}
+
+func TestEmitterBranchRate(t *testing.T) {
+	l := NewCodeLayout(0x400000, 1<<20)
+	f := l.Func("f", 256)
+	insts := collect(t, 4000, func(e *Emitter) {
+		e.InFunc(f, func() {
+			for i := 0; i < 8000; i++ {
+				e.ALU(NoVal, NoVal)
+			}
+		})
+	})
+	branches := 0
+	for _, in := range insts {
+		if in.Op == OpBranch {
+			branches++
+		}
+	}
+	frac := float64(branches) / float64(len(insts))
+	if frac < 0.08 || frac > 0.30 {
+		t.Errorf("auto-branch fraction %.3f outside [0.08,0.30]", frac)
+	}
+}
+
+func TestEmitterCloseUnblocksWorkload(t *testing.T) {
+	l := NewCodeLayout(0x400000, 1<<20)
+	f := l.Func("f", 64)
+	g := Start(EmitterConfig{Seed: 1}, func(e *Emitter) {
+		e.Call(f)
+		for { // infinite workload
+			e.ALU(NoVal, NoVal)
+		}
+	})
+	out := make([]Inst, 100)
+	if n := g.Next(out); n != 100 {
+		t.Fatalf("expected 100 insts, got %d", n)
+	}
+	g.Close() // must not hang
+	if n := g.Next(out); n != 0 {
+		t.Fatalf("closed generator returned %d insts", n)
+	}
+}
+
+func TestEmitterBranchTargetsInsideFunction(t *testing.T) {
+	l := NewCodeLayout(0x400000, 1<<20)
+	f := l.Func("f", 128)
+	insts := collect(t, 3000, func(e *Emitter) {
+		e.InFunc(f, func() {
+			for i := 0; i < 6000; i++ {
+				v := e.ALU(NoVal, NoVal)
+				if i%7 == 0 {
+					e.Branch(i%2 == 0, v)
+				}
+			}
+		})
+	})
+	lo, hi := f.Entry, f.Entry+f.Size*InstBytes
+	for i, in := range insts {
+		if in.Op == OpBranch && in.Taken {
+			if in.Target < lo || in.Target >= hi {
+				t.Fatalf("inst %d: taken branch target %#x outside function", i, in.Target)
+			}
+		}
+	}
+}
+
+// Property: dependence distances never reference the future and are
+// always representable.
+func TestQuickDependenceDistanceValid(t *testing.T) {
+	l := NewCodeLayout(0x400000, 1<<26)
+	f := l.Func("f", 512)
+	check := func(seed int64, loads uint8) bool {
+		nloads := int(loads%32) + 1
+		g := Start(EmitterConfig{Seed: seed}, func(e *Emitter) {
+			e.InFunc(f, func() {
+				var v Val = NoVal
+				for i := 0; i < nloads; i++ {
+					v = e.Load(uint64(0x1000+i*64), 8, v, true)
+					v = e.ALUChain(i%4, v)
+				}
+			})
+		})
+		defer g.Close()
+		out := make([]Inst, 4096)
+		n := g.Next(out)
+		for i := 0; i < n; i++ {
+			if out[i].DepA < 0 || out[i].DepB < 0 {
+				return false
+			}
+			if int64(out[i].DepA) > int64(i)+1<<24 {
+				return false
+			}
+		}
+		return n > 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,356 @@
+// Package dataserving models the Data Serving workload: a Cassandra-like
+// in-memory NoSQL store driven by a YCSB-style client (Section 3.2 of
+// the paper: Cassandra 0.7.3 with a 15GB YCSB dataset, Zipfian request
+// distribution, 95:5 read/write mix).
+//
+// The store is a real log-structured design: a skiplist memtable absorbs
+// writes; reads probe the memtable, then per-run bloom filters, a sparse
+// index, and finally the record payload in one of several sorted runs.
+// A garbage-collection quantum periodically marks shared record headers,
+// reproducing the parallel-collector sharing the paper observes for the
+// Java-based workloads (Section 4.4). All network activity goes through
+// the OS model.
+package dataserving
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"cloudsuite/internal/addrspace"
+	"cloudsuite/internal/oskern"
+	"cloudsuite/internal/trace"
+	"cloudsuite/internal/workloads"
+)
+
+// Config scales the workload.
+type Config struct {
+	// Records is the number of stored records.
+	Records uint64
+	// RecordBytes is the payload size (YCSB default: 1KB).
+	RecordBytes uint64
+	// ReadFrac is the read share of the request mix (YCSB 95:5).
+	ReadFrac float64
+	// Runs is the number of sorted on-"disk" runs (SSTables).
+	Runs int
+	// FrameworkInsts is the per-request framework (JVM/Cassandra
+	// messaging) instruction budget.
+	FrameworkInsts int
+}
+
+// DefaultConfig returns the scaled-down default dataset: 64K x 1KB
+// records (64MB, >5x the 12MB LLC so the data working set exceeds any
+// cache, as in the paper).
+func DefaultConfig() Config {
+	return Config{
+		Records: 64 << 10, RecordBytes: 1024, ReadFrac: 0.95, Runs: 4,
+		FrameworkInsts: 5600,
+	}
+}
+
+type run struct {
+	lo, hi uint64 // key range [lo,hi)
+	keys   addrspace.Array
+	recs   addrspace.Array
+	bloom  addrspace.Array
+	index  addrspace.Array // sparse index: every 64th key
+}
+
+type slNode struct {
+	key  uint64
+	addr uint64
+	next []*slNode
+}
+
+// Store is the Data Serving workload instance.
+type Store struct {
+	cfg  Config
+	kern *oskern.Kernel
+	heap *addrspace.Heap
+	bank *workloads.CodeBank
+
+	fnDispatch  *trace.Func
+	fnMemtable  *trace.Func
+	fnBloom     *trace.Func
+	fnIndex     *trace.Func
+	fnRead      *trace.Func
+	fnChecksum  *trace.Func
+	fnSerialize *trace.Func
+	fnInsert    *trace.Func
+	fnCommitLog *trace.Func
+	fnGC        *trace.Func
+
+	runs    []run
+	headers addrspace.Array // shared record headers marked by GC
+
+	mu       sync.RWMutex
+	memHead  *slNode
+	memLevel int
+	memCount int
+
+	logAddr uint64
+	logCur  atomic.Uint64
+	gcCur   atomic.Uint64
+}
+
+// New builds the store and its dataset.
+func New(cfg Config) *Store {
+	if cfg.Records == 0 {
+		cfg = DefaultConfig()
+	}
+	code := trace.NewCodeLayout(addrspace.UserCodeBase, addrspace.UserCodeSize)
+	s := &Store{cfg: cfg, kern: oskern.New(oskern.DefaultConfig()), heap: addrspace.NewUserHeap()}
+	// The JVM + Cassandra stack: a wide framework footprint.
+	s.bank = workloads.NewCodeBank(code, "cassandra", 150, 900)
+	s.fnDispatch = code.Func("request_dispatch", 700)
+	s.fnMemtable = code.Func("memtable_search", 420)
+	s.fnBloom = code.Func("bloom_check", 180)
+	s.fnIndex = code.Func("index_search", 360)
+	s.fnRead = code.Func("record_read", 300)
+	s.fnChecksum = code.Func("record_checksum", 150)
+	s.fnSerialize = code.Func("serialize_response", 800)
+	s.fnInsert = code.Func("memtable_insert", 520)
+	s.fnCommitLog = code.Func("commitlog_append", 260)
+	s.fnGC = code.Func("gc_mark_quantum", 600)
+
+	per := cfg.Records / uint64(cfg.Runs)
+	s.runs = make([]run, cfg.Runs)
+	for i := range s.runs {
+		s.runs[i] = run{
+			lo:    uint64(i) * per,
+			hi:    uint64(i+1) * per,
+			keys:  addrspace.NewArray(s.heap, per, 8),
+			recs:  addrspace.NewArray(s.heap, per, cfg.RecordBytes),
+			bloom: addrspace.NewArray(s.heap, (per*10+511)/512, 64),
+			index: addrspace.NewArray(s.heap, (per+63)/64, 16),
+		}
+	}
+	s.headers = addrspace.NewArray(s.heap, cfg.Records, 16)
+	s.logAddr = s.heap.AllocLines(8 << 20)
+	s.memHead = &slNode{next: make([]*slNode, 16), addr: s.heap.AllocLines(160)}
+	s.memLevel = 1
+	return s
+}
+
+// Name implements workloads.Workload.
+func (s *Store) Name() string { return "Data Serving" }
+
+// Class implements workloads.Workload.
+func (s *Store) Class() workloads.Class { return workloads.ScaleOut }
+
+// DatasetBytes reports the primary data footprint.
+func (s *Store) DatasetBytes() uint64 {
+	var t uint64
+	for i := range s.runs {
+		t += s.runs[i].recs.Bytes()
+	}
+	return t
+}
+
+// Start implements workloads.Workload.
+func (s *Store) Start(n int, seed int64) []*trace.ChanGen {
+	gens := make([]*trace.ChanGen, n)
+	for i := 0; i < n; i++ {
+		tid := i
+		cfg := workloads.EmitterConfigFor(seed+int64(i)*7919, 0.10)
+		gens[i] = trace.Start(cfg, func(e *trace.Emitter) { s.serve(e, tid, seed+int64(tid)) })
+	}
+	return gens
+}
+
+// serve is one server thread's request loop.
+func (s *Store) serve(e *trace.Emitter, tid int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := workloads.NewZipf(rng, 0.99, s.cfg.Records)
+	conn := s.kern.OpenConnOn(tid)
+	stack := workloads.StackOf(tid)
+	reqBuf := s.heap.AllocLines(4096)
+	respBuf := s.heap.AllocLines(4096)
+	reqs := 0
+
+	for {
+		key := zipf.Next() % s.cfg.Records
+		s.kern.Recv(e, conn, reqBuf, 128)
+
+		e.InFunc(s.fnDispatch, func() {
+			workloads.GenericWork(e, 260, stack, 3)
+		})
+		s.bank.Exec(e, key*0x9e3779b9+uint64(tid), 22, s.cfg.FrameworkInsts, stack, 3)
+
+		if rng.Float64() < s.cfg.ReadFrac {
+			s.read(e, key, respBuf, stack)
+			s.kern.Send(e, conn, respBuf, int(s.cfg.RecordBytes))
+		} else {
+			s.write(e, key, rng, stack)
+			s.kern.Send(e, conn, respBuf, 64)
+		}
+
+		reqs++
+		if reqs%48 == 0 {
+			s.gcQuantum(e)
+		}
+		if reqs%200 == 0 {
+			s.kern.SchedTick(e, tid)
+		}
+	}
+}
+
+// read emits the full read path for key.
+func (s *Store) read(e *trace.Emitter, key uint64, respBuf, stack uint64) {
+	// Memtable probe: pointer-chase down the skiplist.
+	e.InFunc(s.fnMemtable, func() {
+		s.mu.RLock()
+		node := s.memHead
+		v := e.Load(node.addr, 8, trace.NoVal, false)
+		for lvl := s.memLevel - 1; lvl >= 0; lvl-- {
+			for node.next[lvl] != nil && node.next[lvl].key < key {
+				node = node.next[lvl]
+				v = e.Load(node.addr+uint64(lvl)*8, 8, v, true)
+			}
+			v = e.ALU(v, trace.NoVal)
+		}
+		s.mu.RUnlock()
+	})
+
+	// Bloom filters: runs are checked one after another and each check
+	// consumes the previous verdict (control-dependent sequence).
+	owner := -1
+	var bloomDep trace.Val = trace.NoVal
+	for i := range s.runs {
+		r := &s.runs[i]
+		e.InFunc(s.fnBloom, func() {
+			h := key*0x9e3779b97f4a7c15 + uint64(i)
+			probes := 2
+			if key >= r.lo && key < r.hi {
+				owner = i
+				probes = 4 // all probes pass for the owning run
+			}
+			for p := 0; p < probes; p++ {
+				h ^= h >> 33
+				h *= 0xff51afd7ed558ccd
+				bloomDep = e.Load(r.bloom.At(h%r.bloom.Len), 8, bloomDep, true)
+				bloomDep = e.ALUChain(2, bloomDep)
+			}
+		})
+	}
+	if owner < 0 {
+		return
+	}
+	r := &s.runs[owner]
+	rel := key - r.lo
+
+	// Sparse index: binary search over the index entries.
+	e.InFunc(s.fnIndex, func() {
+		lo, hi := uint64(0), r.index.Len
+		var v trace.Val = trace.NoVal
+		for hi-lo > 1 {
+			mid := (lo + hi) / 2
+			v = e.Load(r.index.At(mid), 16, v, true)
+			v = e.ALUChain(3, v)
+			if mid*64 <= rel {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+	})
+
+	// Key scan within the indexed block, then the record payload.
+	e.InFunc(s.fnRead, func() {
+		base := rel &^ 63
+		var v trace.Val = trace.NoVal
+		for k := base; k <= rel; k += 8 {
+			v = e.Load(r.keys.At(k), 8, v, false)
+		}
+		hdr := e.Load(s.headers.At(key), 8, v, true)
+		e.ALUChain(2, hdr)
+	})
+	e.InFunc(s.fnChecksum, func() {
+		rec := r.recs.At(rel)
+		var sum trace.Val = trace.NoVal
+		for off := uint64(0); off < s.cfg.RecordBytes; off += 64 {
+			ld := e.Load(rec+off, 64, trace.NoVal, false)
+			sum = e.FP(sum, ld)
+		}
+	})
+	// Serialization: framework-heavy response construction.
+	e.InFunc(s.fnSerialize, func() {
+		for off := uint64(0); off < s.cfg.RecordBytes; off += 64 {
+			v := e.Load(r.recs.At(rel)+off, 64, trace.NoVal, false)
+			e.Store(respBuf+off%4096, 64, v, trace.NoVal)
+			e.ALU(v, trace.NoVal)
+		}
+		workloads.GenericWork(e, 900, stack, 3)
+	})
+}
+
+// write emits the write path: a skiplist insert plus a commit-log
+// append.
+func (s *Store) write(e *trace.Emitter, key uint64, rng *rand.Rand, stack uint64) {
+	e.InFunc(s.fnInsert, func() {
+		s.mu.Lock()
+		// Real skiplist insert with emitted pointer chases and stores.
+		update := make([]*slNode, 16)
+		node := s.memHead
+		v := e.Load(node.addr, 8, trace.NoVal, false)
+		for lvl := s.memLevel - 1; lvl >= 0; lvl-- {
+			for node.next[lvl] != nil && node.next[lvl].key < key {
+				node = node.next[lvl]
+				v = e.Load(node.addr+uint64(lvl)*8, 8, v, true)
+			}
+			update[lvl] = node
+		}
+		h := 1
+		for h < 16 && rng.Intn(2) == 0 {
+			h++
+		}
+		if h > s.memLevel {
+			for l := s.memLevel; l < h; l++ {
+				update[l] = s.memHead
+			}
+			s.memLevel = h
+		}
+		nn := &slNode{key: key, addr: s.heap.AllocLines(160), next: make([]*slNode, h)}
+		for l := 0; l < h; l++ {
+			nn.next[l] = update[l].next[l]
+			update[l].next[l] = nn
+			e.Store(nn.addr+uint64(l)*8, 8, v, trace.NoVal)
+			e.Store(update[l].addr+uint64(l)*8, 8, trace.NoVal, trace.NoVal)
+		}
+		s.memCount++
+		// Bound the memtable like a flush would: recycle by dropping
+		// (model only; the sorted runs remain the read target).
+		if s.memCount > 4096 {
+			s.memHead.next = make([]*slNode, 16)
+			s.memLevel = 1
+			s.memCount = 0
+		}
+		s.mu.Unlock()
+	})
+	e.InFunc(s.fnCommitLog, func() {
+		pos := s.logCur.Add(s.cfg.RecordBytes) % (8 << 20)
+		for off := uint64(0); off < s.cfg.RecordBytes; off += 64 {
+			e.Store(s.logAddr+(pos+off)%(8<<20), 64, trace.NoVal, trace.NoVal)
+		}
+		workloads.GenericWork(e, 60, stack, 2)
+	})
+}
+
+// gcQuantum emits one parallel-collector mark quantum: it walks a chunk
+// of the shared header array and writes mark bits, inducing the
+// cross-core read-write sharing the paper attributes to the garbage
+// collector.
+func (s *Store) gcQuantum(e *trace.Emitter) {
+	e.InFunc(s.fnGC, func() {
+		const chunk = 64
+		start := s.gcCur.Add(chunk) % s.cfg.Records
+		var v trace.Val = trace.NoVal
+		for i := uint64(0); i < chunk; i++ {
+			idx := (start + i) % s.cfg.Records
+			v = e.Load(s.headers.At(idx), 8, trace.NoVal, false)
+			if i%4 == 0 {
+				e.Store(s.headers.At(idx), 8, v, trace.NoVal)
+			}
+		}
+	})
+}
