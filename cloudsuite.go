@@ -32,6 +32,15 @@
 //	b, _ := cloudsuite.FindBench("Web Search")
 //	m, err := cloudsuite.MeasureBench(b, cloudsuite.DefaultOptions())
 //	fmt.Println(m.IPC(), m.MLP())
+//
+// Measurements are bit-reproducible per seed. Batch experiments go
+// through a Runner, which fans requests out across a worker pool and
+// memoizes results by (benchmark, canonicalized options), so identical
+// configurations are simulated once no matter how many figures request
+// them:
+//
+//	r := cloudsuite.NewRunner(4) // 4 workers
+//	rows, err := r.Figure1(cloudsuite.ScaleOutEntries(), cloudsuite.DefaultOptions())
 package cloudsuite
 
 import (
@@ -73,6 +82,22 @@ type (
 	PrefetchRow  = core.PrefetchRow
 	SharingRow   = core.SharingRow
 	BandwidthRow = core.BandwidthRow
+
+	// Experiment-orchestration types. Runner fans measurement requests
+	// out across a worker pool and memoizes results; every figure
+	// driver is also available as a Runner method.
+	Runner         = core.Runner
+	MeasureRequest = core.MeasureRequest
+	RunnerStats    = core.RunnerStats
+	ProgressEvent  = core.ProgressEvent
+	ProgressFunc   = core.ProgressFunc
+)
+
+// Experiment orchestration.
+var (
+	// NewRunner returns a Runner with the given worker-pool width
+	// (<= 0 selects GOMAXPROCS).
+	NewRunner = core.NewRunner
 )
 
 // Machine configurations.

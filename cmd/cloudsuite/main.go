@@ -1,33 +1,44 @@
-// Command cloudsuite runs one benchmark of the suite on the simulated
-// Xeon X5670 and prints its performance-counter characterization, the
-// equivalent of one VTune measurement run from the paper.
+// Command cloudsuite runs benchmarks of the suite on the simulated
+// Xeon X5670 and prints their performance-counter characterization, the
+// equivalent of VTune measurement runs from the paper.
 //
 // Usage:
 //
 //	cloudsuite -list
 //	cloudsuite -bench "Web Search" [-cores 4] [-smt] [-split] [-pollute 6]
 //	           [-warmup 400000] [-measure 120000] [-seed 1]
+//	cloudsuite -bench "Web Search,Data Serving" [-parallel 4] [-progress]
+//	cloudsuite -bench all
+//
+// -bench accepts a single name, a comma-separated list, or "all"; with
+// more than one benchmark the measurements are fanned out across a
+// worker pool (-parallel, 0 = GOMAXPROCS) and reported in the order
+// given. Results are bit-reproducible per seed, so the output is
+// identical for every -parallel value.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"cloudsuite/internal/core"
 )
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list benchmarks and exit")
-		bench   = flag.String("bench", "Web Search", "benchmark name")
-		cores   = flag.Int("cores", 4, "workload cores")
-		smt     = flag.Bool("smt", false, "two threads per core")
-		split   = flag.Bool("split", false, "split cores across two sockets")
-		pollute = flag.Int("pollute", 0, "LLC MB occupied by polluter threads")
-		warmup  = flag.Int64("warmup", 400_000, "per-thread warm-up instructions")
-		measure = flag.Int64("measure", 120_000, "per-thread measured instructions")
-		seed    = flag.Int64("seed", 1, "random seed")
+		list     = flag.Bool("list", false, "list benchmarks and exit")
+		bench    = flag.String("bench", "Web Search", `benchmark name, comma-separated names, or "all"`)
+		cores    = flag.Int("cores", 4, "workload cores")
+		smt      = flag.Bool("smt", false, "two threads per core")
+		split    = flag.Bool("split", false, "split cores across two sockets")
+		pollute  = flag.Int("pollute", 0, "LLC MB occupied by polluter threads")
+		warmup   = flag.Int64("warmup", 400_000, "per-thread warm-up instructions")
+		measure  = flag.Int64("measure", 120_000, "per-thread measured instructions")
+		seed     = flag.Int64("seed", 1, "random seed")
+		parallel = flag.Int("parallel", 0, "measurement worker-pool width (0 = GOMAXPROCS)")
+		progress = flag.Bool("progress", false, "report measurement progress on stderr")
 	)
 	flag.Parse()
 
@@ -38,9 +49,9 @@ func main() {
 		return
 	}
 
-	b, ok := core.FindBench(*bench)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown benchmark %q (use -list)\n", *bench)
+	benches, err := resolveBenches(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	o := core.Options{
@@ -48,12 +59,55 @@ func main() {
 		PolluteBytes: uint64(*pollute) << 20,
 		WarmupInsts:  *warmup, MeasureInsts: *measure, Seed: *seed,
 	}
-	m, err := core.MeasureBench(b, o)
+
+	runner := core.NewRunner(*parallel)
+	if *progress {
+		runner.SetProgress(func(ev core.ProgressEvent) {
+			fmt.Fprintf(os.Stderr, "%4d/%-4d %s\n", ev.Done, ev.Total, ev.Bench)
+		})
+	}
+	reqs := make([]core.MeasureRequest, len(benches))
+	for i, b := range benches {
+		reqs[i] = core.MeasureRequest{Bench: b, Options: o}
+	}
+	ms, err := runner.MeasureAll(reqs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	for i, m := range ms {
+		if i > 0 {
+			fmt.Println()
+		}
+		printMeasurement(m)
+	}
+}
 
+// resolveBenches parses the -bench argument: one name, a comma list,
+// or "all".
+func resolveBenches(arg string) ([]core.Bench, error) {
+	if strings.EqualFold(strings.TrimSpace(arg), "all") {
+		return core.AllBenches(), nil
+	}
+	var out []core.Bench
+	for _, name := range strings.Split(arg, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		b, ok := core.FindBench(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q (use -list)", name)
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark named (use -list)")
+	}
+	return out, nil
+}
+
+func printMeasurement(m *core.Measurement) {
 	c := &m.Counters
 	fmt.Printf("benchmark        %s\n", m.BenchName)
 	fmt.Printf("cycles           %d (window)\n", m.Cycles)

@@ -4,9 +4,14 @@
 //
 // Usage:
 //
-//	figures [-only 1,3,7] [-quick] [-seed 1]
+//	figures [-only 1,3,7] [-quick] [-seed 1] [-parallel 4] [-progress]
 //
 // -quick shrinks the per-run instruction budgets ~4x for a fast pass.
+// All selected figures share one measurement Runner: -parallel sets its
+// worker-pool width (0 = GOMAXPROCS) and configurations common to
+// several figures are measured once and served from the memoization
+// cache afterwards. Measurements are bit-reproducible per seed, so the
+// tables are byte-identical for every -parallel value.
 package main
 
 import (
@@ -21,10 +26,12 @@ import (
 
 func main() {
 	var (
-		only  = flag.String("only", "", "comma-separated figure numbers (default: all, 0 = Table 1, i = implications)")
-		quick = flag.Bool("quick", false, "reduced instruction budgets")
-		check = flag.Bool("check", false, "validate the paper's claims and exit")
-		seed  = flag.Int64("seed", 1, "random seed")
+		only     = flag.String("only", "", "comma-separated figure numbers (default: all, 0 = Table 1, i = implications)")
+		quick    = flag.Bool("quick", false, "reduced instruction budgets")
+		check    = flag.Bool("check", false, "validate the paper's claims and exit")
+		seed     = flag.Int64("seed", 1, "random seed")
+		parallel = flag.Int("parallel", 0, "measurement worker-pool width (0 = GOMAXPROCS)")
+		progress = flag.Bool("progress", false, "report measurement progress on stderr")
 	)
 	flag.Parse()
 
@@ -32,6 +39,11 @@ func main() {
 	o.Seed = *seed
 	if *quick {
 		o.WarmupInsts, o.MeasureInsts = 150_000, 40_000
+	}
+
+	runner := core.NewRunner(*parallel)
+	if *progress {
+		runner.SetProgress(progressLine)
 	}
 
 	want := map[string]bool{}
@@ -43,7 +55,7 @@ func main() {
 	sel := func(n string) bool { return len(want) == 0 || want[n] }
 
 	if *check {
-		runCheck(o)
+		runCheck(runner, o)
 		return
 	}
 
@@ -53,33 +65,51 @@ func main() {
 		table1()
 	}
 	if sel("1") {
-		figure1(entries, o)
+		figure1(runner, entries, o)
 	}
 	if sel("2") {
-		figure2(entries, o)
+		figure2(runner, entries, o)
 	}
 	if sel("3") {
-		figure3(entries, o)
+		figure3(runner, entries, o)
 	}
 	if sel("4") {
-		figure4(o)
+		figure4(runner, o)
 	}
 	if sel("5") {
-		figure5(entries, o)
+		figure5(runner, entries, o)
 	}
 	if sel("6") {
-		figure6(entries, o)
+		figure6(runner, entries, o)
 	}
 	if sel("7") {
-		figure7(entries, o)
+		figure7(runner, entries, o)
 	}
 	if want["i"] {
-		implications(o)
+		implications(runner, o)
+	}
+
+	if *progress {
+		s := runner.Stats()
+		fmt.Fprintf(os.Stderr, "runner: %d measurements requested, %d simulated, %d served from cache (%d workers)\n",
+			s.Requests, s.Runs, s.CacheHits, runner.Workers())
 	}
 }
 
-func runCheck(o core.Options) {
-	claims, err := core.Validate(o)
+// progressLine renders one in-place progress line on stderr.
+func progressLine(ev core.ProgressEvent) {
+	tag := ""
+	if ev.Cached {
+		tag = " (cached)"
+	}
+	fmt.Fprintf(os.Stderr, "\r\033[K%4d/%-4d %s%s", ev.Done, ev.Total, ev.Bench, tag)
+	if ev.Done == ev.Total {
+		fmt.Fprintln(os.Stderr)
+	}
+}
+
+func runCheck(runner *core.Runner, o core.Options) {
+	claims, err := runner.Validate(o)
 	if err != nil {
 		fail(err)
 	}
@@ -99,9 +129,9 @@ func runCheck(o core.Options) {
 	}
 }
 
-func implications(o core.Options) {
+func implications(runner *core.Runner, o core.Options) {
 	so := core.ScaleOutEntries()
-	rows, err := core.Implications(so, o)
+	rows, err := runner.Implications(so, o)
 	if err != nil {
 		fail(err)
 	}
@@ -118,7 +148,7 @@ func implications(o core.Options) {
 	}
 	t.Render(os.Stdout)
 
-	irows, err := core.InstructionPrefetchStudy(so, o)
+	irows, err := runner.InstructionPrefetchStudy(so, o)
 	if err != nil {
 		fail(err)
 	}
@@ -146,8 +176,8 @@ func table1() {
 	t.Render(os.Stdout)
 }
 
-func figure1(entries []core.Entry, o core.Options) {
-	rows, err := core.Figure1(entries, o)
+func figure1(runner *core.Runner, entries []core.Entry, o core.Options) {
+	rows, err := runner.Figure1(entries, o)
 	if err != nil {
 		fail(err)
 	}
@@ -162,8 +192,8 @@ func figure1(entries []core.Entry, o core.Options) {
 	t.Render(os.Stdout)
 }
 
-func figure2(entries []core.Entry, o core.Options) {
-	rows, err := core.Figure2(entries, o)
+func figure2(runner *core.Runner, entries []core.Entry, o core.Options) {
+	rows, err := runner.Figure2(entries, o)
 	if err != nil {
 		fail(err)
 	}
@@ -181,8 +211,8 @@ func figure2(entries []core.Entry, o core.Options) {
 	t.Render(os.Stdout)
 }
 
-func figure3(entries []core.Entry, o core.Options) {
-	rows, err := core.Figure3(entries, o)
+func figure3(runner *core.Runner, entries []core.Entry, o core.Options) {
+	rows, err := runner.Figure3(entries, o)
 	if err != nil {
 		fail(err)
 	}
@@ -203,8 +233,8 @@ func figure3(entries []core.Entry, o core.Options) {
 	t.Render(os.Stdout)
 }
 
-func figure4(o core.Options) {
-	series, err := core.Figure4(core.Figure4Groups(), []int{4, 5, 6, 7, 8, 9, 10, 11}, o)
+func figure4(runner *core.Runner, o core.Options) {
+	series, err := runner.Figure4(core.Figure4Groups(), []int{4, 5, 6, 7, 8, 9, 10, 11}, o)
 	if err != nil {
 		fail(err)
 	}
@@ -222,8 +252,8 @@ func figure4(o core.Options) {
 	t.Render(os.Stdout)
 }
 
-func figure5(entries []core.Entry, o core.Options) {
-	rows, err := core.Figure5(entries, o)
+func figure5(runner *core.Runner, entries []core.Entry, o core.Options) {
+	rows, err := runner.Figure5(entries, o)
 	if err != nil {
 		fail(err)
 	}
@@ -237,8 +267,8 @@ func figure5(entries []core.Entry, o core.Options) {
 	t.Render(os.Stdout)
 }
 
-func figure6(entries []core.Entry, o core.Options) {
-	rows, err := core.Figure6(entries, o)
+func figure6(runner *core.Runner, entries []core.Entry, o core.Options) {
+	rows, err := runner.Figure6(entries, o)
 	if err != nil {
 		fail(err)
 	}
@@ -252,8 +282,8 @@ func figure6(entries []core.Entry, o core.Options) {
 	t.Render(os.Stdout)
 }
 
-func figure7(entries []core.Entry, o core.Options) {
-	rows, err := core.Figure7(entries, o)
+func figure7(runner *core.Runner, entries []core.Entry, o core.Options) {
+	rows, err := runner.Figure7(entries, o)
 	if err != nil {
 		fail(err)
 	}

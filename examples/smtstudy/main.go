@@ -3,6 +3,10 @@
 // threads per core, showing the 39-69% SMT gains the paper reports for
 // the independent-request scale-out class.
 //
+// Both configurations of all six workloads are submitted to a Runner
+// as one batch, so they measure concurrently on multicore hosts while
+// the printed table keeps its deterministic order.
+//
 //	go run ./examples/smtstudy
 package main
 
@@ -17,20 +21,25 @@ func main() {
 	opts := cloudsuite.DefaultOptions()
 	opts.WarmupInsts = 200_000
 	opts.MeasureInsts = 40_000
+	smtOpts := opts
+	smtOpts.SMT = true
+
+	benches := cloudsuite.ScaleOut()
+	var reqs []cloudsuite.MeasureRequest
+	for _, b := range benches {
+		reqs = append(reqs,
+			cloudsuite.MeasureRequest{Bench: b, Options: opts},
+			cloudsuite.MeasureRequest{Bench: b, Options: smtOpts})
+	}
+	ms, err := cloudsuite.NewRunner(0).MeasureAll(reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("%-18s %6s %9s %6s %9s %8s\n",
 		"workload", "IPC", "IPC(SMT)", "MLP", "MLP(SMT)", "gain")
-	for _, b := range cloudsuite.ScaleOut() {
-		base, err := cloudsuite.MeasureBench(b, opts)
-		if err != nil {
-			log.Fatal(err)
-		}
-		smtOpts := opts
-		smtOpts.SMT = true
-		smt, err := cloudsuite.MeasureBench(b, smtOpts)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for i, b := range benches {
+		base, smt := ms[2*i], ms[2*i+1]
 		fmt.Printf("%-18s %6.2f %9.2f %6.2f %9.2f %7.0f%%\n",
 			b.Name, base.IPC(), smt.IPC(), base.MLP(), smt.MLP(),
 			100*(smt.IPC()/base.IPC()-1))

@@ -1,0 +1,3 @@
+module cloudsuite
+
+go 1.24

@@ -2,12 +2,22 @@ package core
 
 import (
 	"fmt"
+	"sort"
 )
 
 // This file implements the paper's evaluation: one driver per figure.
-// Each driver runs the required configurations and returns plain row
-// structs that the report package renders and the benchmark harness
-// prints. DESIGN.md section 3 maps each driver to its figure.
+// Each driver enumerates its full measurement matrix up front, submits
+// it to a Runner (worker pool + memoization cache, see runner.go), and
+// folds the results into plain row structs that the report package
+// renders and the benchmark harness prints. Output ordering is
+// deterministic and independent of the worker count. DESIGN.md
+// section 3 maps each driver to its figure.
+//
+// The package-level Figure functions are serial conveniences: each runs
+// its driver on a fresh single-worker Runner. Callers that regenerate
+// several figures should share one Runner so configurations common to
+// multiple figures (the baseline entries appear in Figures 1, 2, 3 and
+// 7) are measured once.
 
 // BreakdownRow is one bar of Figure 1: the commit-time execution
 // breakdown plus the overlapped memory-cycles bar.
@@ -22,33 +32,49 @@ type BreakdownRow struct {
 	Memory float64
 }
 
-// Figure1 measures the execution-time breakdown of the given entries.
+// Figure1 measures the execution-time breakdown of the given entries
+// serially; see (*Runner).Figure1.
 func Figure1(entries []Entry, o Options) ([]BreakdownRow, error) {
+	return NewRunner(1).Figure1(entries, o)
+}
+
+// Figure1 measures the execution-time breakdown of the given entries.
+func (r *Runner) Figure1(entries []Entry, o Options) ([]BreakdownRow, error) {
+	results, err := r.measureEntrySets(entrySets(entries, o))
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]BreakdownRow, 0, len(entries))
-	for _, e := range entries {
-		r, err := MeasureEntry(e, o)
-		if err != nil {
-			return nil, err
-		}
-		cu, _, _ := r.Stat(func(m *Measurement) float64 {
+	for i, e := range entries {
+		res := results[i]
+		cu, _, _ := res.Stat(func(m *Measurement) float64 {
 			return float64(m.CommitCyclesUser) / float64(m.Cycles)
 		})
-		co, _, _ := r.Stat(func(m *Measurement) float64 {
+		co, _, _ := res.Stat(func(m *Measurement) float64 {
 			return float64(m.CommitCyclesOS) / float64(m.Cycles)
 		})
-		su, _, _ := r.Stat(func(m *Measurement) float64 {
+		su, _, _ := res.Stat(func(m *Measurement) float64 {
 			return float64(m.StallCyclesUser) / float64(m.Cycles)
 		})
-		so, _, _ := r.Stat(func(m *Measurement) float64 {
+		so, _, _ := res.Stat(func(m *Measurement) float64 {
 			return float64(m.StallCyclesOS) / float64(m.Cycles)
 		})
-		mem, _, _ := r.Stat(func(m *Measurement) float64 { return m.MemCycleFrac() })
+		mem, _, _ := res.Stat(func(m *Measurement) float64 { return m.MemCycleFrac() })
 		rows = append(rows, BreakdownRow{
 			Label: e.Label, CommittingUser: cu, CommittingOS: co,
 			StalledUser: su, StalledOS: so, Memory: mem,
 		})
 	}
 	return rows, nil
+}
+
+// entrySets pairs every entry with the same options.
+func entrySets(entries []Entry, o Options) []entrySet {
+	sets := make([]entrySet, len(entries))
+	for i, e := range entries {
+		sets[i] = entrySet{e: e, o: o}
+	}
+	return sets
 }
 
 // InstrMissRow is one bar group of Figure 2: L1-I and L2 instruction
@@ -62,18 +88,25 @@ type InstrMissRow struct {
 	ShowOS bool
 }
 
-// Figure2 measures instruction-cache miss rates.
+// Figure2 measures instruction-cache miss rates serially; see
+// (*Runner).Figure2.
 func Figure2(entries []Entry, o Options) ([]InstrMissRow, error) {
+	return NewRunner(1).Figure2(entries, o)
+}
+
+// Figure2 measures instruction-cache miss rates.
+func (r *Runner) Figure2(entries []Entry, o Options) ([]InstrMissRow, error) {
+	results, err := r.measureEntrySets(entrySets(entries, o))
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]InstrMissRow, 0, len(entries))
-	for _, e := range entries {
-		r, err := MeasureEntry(e, o)
-		if err != nil {
-			return nil, err
-		}
-		l1a, _, _ := r.Stat(func(m *Measurement) float64 { return m.L1IMPKIUser() })
-		l1o, _, _ := r.Stat(func(m *Measurement) float64 { return m.L1IMPKIOS() })
-		l2a, _, _ := r.Stat(func(m *Measurement) float64 { return m.L2IMPKIUser() })
-		l2o, _, _ := r.Stat(func(m *Measurement) float64 { return m.L2IMPKIOS() })
+	for i, e := range entries {
+		res := results[i]
+		l1a, _, _ := res.Stat(func(m *Measurement) float64 { return m.L1IMPKIUser() })
+		l1o, _, _ := res.Stat(func(m *Measurement) float64 { return m.L1IMPKIOS() })
+		l2a, _, _ := res.Stat(func(m *Measurement) float64 { return m.L2IMPKIUser() })
+		l2o, _, _ := res.Stat(func(m *Measurement) float64 { return m.L2IMPKIOS() })
 		rows = append(rows, InstrMissRow{
 			Label: e.Label, L1IApp: l1a, L1IOS: l1o, L2IApp: l2a, L2IOS: l2o,
 			ShowOS: e.ShowOS,
@@ -96,20 +129,26 @@ type IPCMLPRow struct {
 	BaseCyclesPerInstr4Wid float64
 }
 
-// Figure3 measures IPC and MLP for baseline and SMT configurations.
+// Figure3 measures IPC and MLP for baseline and SMT configurations
+// serially; see (*Runner).Figure3.
 func Figure3(entries []Entry, o Options) ([]IPCMLPRow, error) {
+	return NewRunner(1).Figure3(entries, o)
+}
+
+// Figure3 measures IPC and MLP for baseline and SMT configurations.
+// Both configurations of every entry go into a single submission, so
+// the worker pool sees the whole matrix at once.
+func (r *Runner) Figure3(entries []Entry, o Options) ([]IPCMLPRow, error) {
+	oSMT := o
+	oSMT.SMT = true
+	sets := append(entrySets(entries, o), entrySets(entries, oSMT)...)
+	results, err := r.measureEntrySets(sets)
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]IPCMLPRow, 0, len(entries))
-	for _, e := range entries {
-		base, err := MeasureEntry(e, o)
-		if err != nil {
-			return nil, err
-		}
-		oSMT := o
-		oSMT.SMT = true
-		smt, err := MeasureEntry(e, oSMT)
-		if err != nil {
-			return nil, err
-		}
+	for i, e := range entries {
+		base, smt := results[i], results[len(entries)+i]
 		ipc, ipcLo, ipcHi := base.Stat(func(m *Measurement) float64 { return m.IPC() })
 		mlp, mlpLo, mlpHi := base.Stat(func(m *Measurement) float64 { return m.MLP() })
 		ipcS, _, _ := smt.Stat(func(m *Measurement) float64 { return m.IPC() })
@@ -144,25 +183,58 @@ type LLCSeries struct {
 	Points []LLCPoint
 }
 
+// Figure4 sweeps effective LLC capacity serially; see
+// (*Runner).Figure4.
+func Figure4(groups map[string][]Entry, capacitiesMB []int, o Options) ([]LLCSeries, error) {
+	return NewRunner(1).Figure4(groups, capacitiesMB, o)
+}
+
 // Figure4 sweeps effective LLC capacity using cache-polluting threads
 // (Section 3.1's methodology) and reports user-IPC normalized to the
-// unpolluted baseline for each entry group.
-func Figure4(groups map[string][]Entry, capacitiesMB []int, o Options) ([]LLCSeries, error) {
+// unpolluted baseline for each entry group. Series are returned in
+// sorted label order, so output does not depend on map iteration.
+func (r *Runner) Figure4(groups map[string][]Entry, capacitiesMB []int, o Options) ([]LLCSeries, error) {
 	llcMB := XeonX5670().Mem.LLC.SizeBytes >> 20
-	var out []LLCSeries
-	for label, entries := range groups {
-		series := LLCSeries{Label: label}
-		// Baseline at full capacity (no polluters).
-		baseline, err := averageUserIPC(entries, o)
-		if err != nil {
-			return nil, err
-		}
+	labels := make([]string, 0, len(groups))
+	for label := range groups {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+
+	// Enumerate the whole sweep: for each group, the unpolluted baseline
+	// followed by one configuration per capacity point.
+	var sets []entrySet
+	for _, label := range labels {
+		sets = append(sets, entrySets(groups[label], o)...)
 		for _, mb := range capacitiesMB {
 			opt := o
 			if mb < llcMB {
 				opt.PolluteBytes = uint64(llcMB-mb) << 20
 			}
-			v, err := averageUserIPC(entries, opt)
+			sets = append(sets, entrySets(groups[label], opt)...)
+		}
+	}
+	results, err := r.measureEntrySets(sets)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []LLCSeries
+	pos := 0
+	take := func(n int) []*EntryResult {
+		group := results[pos : pos+n]
+		pos += n
+		return group
+	}
+	for _, label := range labels {
+		n := len(groups[label])
+		series := LLCSeries{Label: label}
+		baseline, err := averageUserIPC(take(n))
+		if err != nil {
+			return nil, err
+		}
+		for _, mb := range capacitiesMB {
+			v, err := averageUserIPC(take(n))
 			if err != nil {
 				return nil, err
 			}
@@ -177,22 +249,17 @@ func Figure4(groups map[string][]Entry, capacitiesMB []int, o Options) ([]LLCSer
 	return out, nil
 }
 
-func averageUserIPC(entries []Entry, o Options) (float64, error) {
-	var sum float64
-	var n int
-	for _, e := range entries {
-		r, err := MeasureEntry(e, o)
-		if err != nil {
-			return 0, err
-		}
-		v, _, _ := r.Stat(func(m *Measurement) float64 { return m.UserIPC() })
-		sum += v
-		n++
-	}
-	if n == 0 {
+// averageUserIPC averages the per-entry mean user-IPC of a group.
+func averageUserIPC(results []*EntryResult) (float64, error) {
+	if len(results) == 0 {
 		return 0, fmt.Errorf("core: empty entry group")
 	}
-	return sum / float64(n), nil
+	var sum float64
+	for _, res := range results {
+		v, _, _ := res.Stat(func(m *Measurement) float64 { return m.UserIPC() })
+		sum += v
+	}
+	return sum / float64(len(results)), nil
 }
 
 // Figure4Groups returns the paper's three curves: the scale-out
@@ -228,8 +295,14 @@ type PrefetchRow struct {
 	HWDisabled       float64
 }
 
-// Figure5 measures L2 hit-ratio sensitivity to the prefetchers.
+// Figure5 measures L2 hit-ratio prefetcher sensitivity serially; see
+// (*Runner).Figure5.
 func Figure5(entries []Entry, o Options) ([]PrefetchRow, error) {
+	return NewRunner(1).Figure5(entries, o)
+}
+
+// Figure5 measures L2 hit-ratio sensitivity to the prefetchers.
+func (r *Runner) Figure5(entries []Entry, o Options) ([]PrefetchRow, error) {
 	mk := func(adj, hw bool) *Machine {
 		m := XeonX5670()
 		m.Mem.AdjacentLine = adj
@@ -237,17 +310,21 @@ func Figure5(entries []Entry, o Options) ([]PrefetchRow, error) {
 		return &m
 	}
 	configs := []*Machine{mk(true, true), mk(false, true), mk(true, false)}
+	var sets []entrySet
+	for _, m := range configs {
+		opt := o
+		opt.Machine = m
+		sets = append(sets, entrySets(entries, opt)...)
+	}
+	results, err := r.measureEntrySets(sets)
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]PrefetchRow, 0, len(entries))
-	for _, e := range entries {
+	for i, e := range entries {
 		var vals [3]float64
-		for i, m := range configs {
-			opt := o
-			opt.Machine = m
-			r, err := MeasureEntry(e, opt)
-			if err != nil {
-				return nil, err
-			}
-			vals[i], _, _ = r.Stat(func(m *Measurement) float64 { return m.L2HitRatio() })
+		for c := range configs {
+			vals[c], _, _ = results[c*len(entries)+i].Stat(func(m *Measurement) float64 { return m.L2HitRatio() })
 		}
 		rows = append(rows, PrefetchRow{
 			Label: e.Label, Baseline: vals[0],
@@ -265,19 +342,25 @@ type SharingRow struct {
 	OS    float64
 }
 
+// Figure6 measures read-write sharing serially; see (*Runner).Figure6.
+func Figure6(entries []Entry, o Options) ([]SharingRow, error) {
+	return NewRunner(1).Figure6(entries, o)
+}
+
 // Figure6 measures read-write sharing with threads split across two
 // sockets (Section 3.1's configuration).
-func Figure6(entries []Entry, o Options) ([]SharingRow, error) {
+func (r *Runner) Figure6(entries []Entry, o Options) ([]SharingRow, error) {
 	opt := o
 	opt.SplitSockets = true
+	results, err := r.measureEntrySets(entrySets(entries, opt))
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]SharingRow, 0, len(entries))
-	for _, e := range entries {
-		r, err := MeasureEntry(e, opt)
-		if err != nil {
-			return nil, err
-		}
-		app, _, _ := r.Stat(func(m *Measurement) float64 { return m.SharedRWFracUser() })
-		osv, _, _ := r.Stat(func(m *Measurement) float64 { return m.SharedRWFracOS() })
+	for i, e := range entries {
+		res := results[i]
+		app, _, _ := res.Stat(func(m *Measurement) float64 { return m.SharedRWFracUser() })
+		osv, _, _ := res.Stat(func(m *Measurement) float64 { return m.SharedRWFracOS() })
 		rows = append(rows, SharingRow{Label: e.Label, App: app, OS: osv})
 	}
 	return rows, nil
@@ -291,24 +374,31 @@ type BandwidthRow struct {
 	OS    float64
 }
 
-// Figure7 measures off-chip bandwidth utilisation.
+// Figure7 measures off-chip bandwidth utilisation serially; see
+// (*Runner).Figure7.
 func Figure7(entries []Entry, o Options) ([]BandwidthRow, error) {
+	return NewRunner(1).Figure7(entries, o)
+}
+
+// Figure7 measures off-chip bandwidth utilisation.
+func (r *Runner) Figure7(entries []Entry, o Options) ([]BandwidthRow, error) {
+	results, err := r.measureEntrySets(entrySets(entries, o))
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]BandwidthRow, 0, len(entries))
-	for _, e := range entries {
-		r, err := MeasureEntry(e, o)
-		if err != nil {
-			return nil, err
-		}
+	for i, e := range entries {
+		res := results[i]
 		// Split each member's utilisation by the mode of its off-chip
 		// read traffic (writebacks charged proportionally), then average.
-		app, _, _ := r.Stat(func(m *Measurement) float64 {
+		app, _, _ := res.Stat(func(m *Measurement) float64 {
 			reads := m.OffchipReadUser + m.OffchipReadOS
 			if reads == 0 {
 				return 0
 			}
 			return m.DRAMUtilization() * float64(m.OffchipReadUser) / float64(reads)
 		})
-		osu, _, _ := r.Stat(func(m *Measurement) float64 {
+		osu, _, _ := res.Stat(func(m *Measurement) float64 {
 			reads := m.OffchipReadUser + m.OffchipReadOS
 			if reads == 0 {
 				return 0

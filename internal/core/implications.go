@@ -93,31 +93,36 @@ type ImplicationRow struct {
 	OptPJPerInstr  float64
 }
 
+// Implications measures entries on the conventional and optimized
+// designs serially; see (*Runner).Implications.
+func Implications(entries []Entry, o Options) ([]ImplicationRow, error) {
+	return NewRunner(1).Implications(entries, o)
+}
+
 // Implications measures entries on the Table-1 machine and on the
 // scale-out-optimized design, comparing chip-level computational
 // density (Section 6: "improved computational density and power
 // efficiency").
-func Implications(entries []Entry, o Options) ([]ImplicationRow, error) {
+func (r *Runner) Implications(entries []Entry, o Options) ([]ImplicationRow, error) {
 	conv := XeonX5670()
 	opt := ScaleOutProcessor()
 	convArea := AreaUnits(conv)
 	optArea := AreaUnits(opt)
 
+	oc := o
+	oc.Machine = &conv
+	oo := o
+	oo.Machine = &opt
+	oo.SMT = true // the optimized design relies on multi-threading
+	sets := append(entrySets(entries, oc), entrySets(entries, oo)...)
+	results, err := r.measureEntrySets(sets)
+	if err != nil {
+		return nil, err
+	}
+
 	rows := make([]ImplicationRow, 0, len(entries))
-	for _, e := range entries {
-		oc := o
-		oc.Machine = &conv
-		rc, err := MeasureEntry(e, oc)
-		if err != nil {
-			return nil, err
-		}
-		oo := o
-		oo.Machine = &opt
-		oo.SMT = true // the optimized design relies on multi-threading
-		ro, err := MeasureEntry(e, oo)
-		if err != nil {
-			return nil, err
-		}
+	for i, e := range entries {
+		rc, ro := results[i], results[len(entries)+i]
 		cIPC, _, _ := rc.Stat(func(m *Measurement) float64 { return m.IPC() })
 		oIPC, _, _ := ro.Stat(func(m *Measurement) float64 { return m.IPC() })
 		cPJ, _, _ := rc.Stat(func(m *Measurement) float64 {
@@ -153,29 +158,40 @@ type IPrefRow struct {
 	IPCNone, IPCNextLine, IPCStream float64
 }
 
+// InstructionPrefetchStudy compares instruction-prefetch front-ends
+// serially; see (*Runner).InstructionPrefetchStudy.
+func InstructionPrefetchStudy(entries []Entry, o Options) ([]IPrefRow, error) {
+	return NewRunner(1).InstructionPrefetchStudy(entries, o)
+}
+
 // InstructionPrefetchStudy measures entries with no instruction
 // prefetcher, the conventional next-line prefetcher, and the
 // stream-based prefetcher the paper's Section 4.1 implications call
 // for.
-func InstructionPrefetchStudy(entries []Entry, o Options) ([]IPrefRow, error) {
+func (r *Runner) InstructionPrefetchStudy(entries []Entry, o Options) ([]IPrefRow, error) {
 	mk := func(mode cache.IPrefMode) *Machine {
 		m := XeonX5670()
 		m.Mem.IPrefetch = mode
 		return &m
 	}
 	configs := []*Machine{mk(cache.IPrefNone), mk(cache.IPrefNextLine), mk(cache.IPrefStream)}
+	var sets []entrySet
+	for _, m := range configs {
+		opt := o
+		opt.Machine = m
+		sets = append(sets, entrySets(entries, opt)...)
+	}
+	results, err := r.measureEntrySets(sets)
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]IPrefRow, 0, len(entries))
-	for _, e := range entries {
+	for i, e := range entries {
 		var mpki, ipc [3]float64
-		for i, m := range configs {
-			opt := o
-			opt.Machine = m
-			r, err := MeasureEntry(e, opt)
-			if err != nil {
-				return nil, err
-			}
-			mpki[i], _, _ = r.Stat(func(m *Measurement) float64 { return m.L1IMPKIUser() + m.L1IMPKIOS() })
-			ipc[i], _, _ = r.Stat(func(m *Measurement) float64 { return m.IPC() })
+		for c := range configs {
+			res := results[c*len(entries)+i]
+			mpki[c], _, _ = res.Stat(func(m *Measurement) float64 { return m.L1IMPKIUser() + m.L1IMPKIOS() })
+			ipc[c], _, _ = res.Stat(func(m *Measurement) float64 { return m.IPC() })
 		}
 		rows = append(rows, IPrefRow{
 			Label:    e.Label,

@@ -34,9 +34,12 @@ type Options struct {
 	// MeasureInsts is the per-thread measured instruction budget.
 	MeasureInsts int64
 	// Seed controls the request streams and datasets. Runs with the same
-	// seed are statistically stable but not bit-identical: workload
-	// threads execute concurrently over shared structures, like the
-	// measured applications themselves.
+	// seed are bit-identical: workload threads interleave over shared
+	// structures in lockstep with the simulator's deterministic pull
+	// order (see internal/trace), so a configuration measures to exactly
+	// one result regardless of wall-clock scheduling — the property the
+	// Runner's memoization cache and the parallel figure drivers rely
+	// on.
 	Seed int64
 }
 
@@ -65,47 +68,34 @@ type Measurement struct {
 }
 
 // Measure runs one workload instance under the given options.
+//
+// Option defaulting goes through canonicalize (runner.go), the same
+// resolution the Runner's memoization cache keys on: two Options with
+// equal canonical forms measure identically by construction.
 func Measure(w workloads.Workload, o Options) (*Measurement, error) {
-	if o.Cores <= 0 {
-		o.Cores = 4
-	}
-	if o.WarmupInsts == 0 {
-		o.WarmupInsts = DefaultOptions().WarmupInsts
-	}
-	if o.MeasureInsts == 0 {
-		o.MeasureInsts = DefaultOptions().MeasureInsts
-	}
-	machine := o.Machine
-	if machine == nil {
-		var m Machine
-		if o.SplitSockets {
-			m = TwoSocket()
-		} else {
-			m = XeonX5670()
-		}
-		machine = &m
-	}
+	c := canonicalize(o)
+	machine := &c.machine
 
 	// Thread placement.
-	nThreads := o.Cores
-	if o.SMT {
+	nThreads := c.cores
+	if c.smt {
 		nThreads *= 2
 	}
 	coreOf := make([]int, nThreads)
 	for i := range coreOf {
-		c := i % o.Cores
-		if o.SplitSockets {
+		cid := i % c.cores
+		if c.splitSockets {
 			// Interleave across the two sockets: half the cores are on
 			// socket 1 (global ids offset by CoresPerSocket).
-			half := o.Cores / 2
-			if c >= half {
-				c = machine.Mem.CoresPerSocket + (c - half)
+			half := c.cores / 2
+			if cid >= half {
+				cid = machine.Mem.CoresPerSocket + (cid - half)
 			}
 		}
-		coreOf[i] = c
+		coreOf[i] = cid
 	}
 
-	gens := w.Start(nThreads, o.Seed)
+	gens := w.Start(nThreads, c.seed)
 	defer func() {
 		for _, g := range gens {
 			g.Close()
@@ -120,14 +110,14 @@ func Measure(w workloads.Workload, o Options) (*Measurement, error) {
 	// occupy PolluteBytes of the LLC, shrinking the capacity available
 	// to the workload (Section 3.1).
 	var polluters []*trace.ChanGen
-	if o.PolluteBytes > 0 {
-		pc1, pc2 := o.Cores, o.Cores+1
+	if c.polluteBytes > 0 {
+		pc1, pc2 := c.cores, c.cores+1
 		if pc2 >= machine.Mem.CoresPerSocket {
 			return nil, fmt.Errorf("core: no spare cores for polluters (%d workload cores on a %d-core socket)",
-				o.Cores, machine.Mem.CoresPerSocket)
+				c.cores, machine.Mem.CoresPerSocket)
 		}
 		for i := 0; i < 2; i++ {
-			g := startPolluter(o.PolluteBytes/2, uint64(i), o.Seed+1000+int64(i))
+			g := startPolluter(c.polluteBytes/2, uint64(i), c.seed+1000+int64(i))
 			polluters = append(polluters, g)
 			threads = append(threads, engine.Thread{Gen: g, Core: pc1 + i, Measured: false})
 		}
@@ -141,9 +131,9 @@ func Measure(w workloads.Workload, o Options) (*Measurement, error) {
 	cfg := engine.RunConfig{
 		Core:         machine.Core,
 		Mem:          machine.Mem,
-		WarmupInsts:  o.WarmupInsts,
-		MeasureInsts: o.MeasureInsts,
-		MaxCycles:    o.MeasureInsts * int64(nThreads) * 40,
+		WarmupInsts:  c.warmupInsts,
+		MeasureInsts: c.measureInsts,
+		MaxCycles:    c.measureInsts * int64(nThreads) * 40,
 	}
 	res, err := engine.Run(cfg, threads)
 	if err != nil {

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file implements the experiment-orchestration layer: a Runner
+// that fans measurement requests out across a worker pool and memoizes
+// results, so the figure drivers and Validate stop re-running identical
+// configurations. Runs are bit-reproducible per seed (the trace layer
+// generates instruction streams in lockstep with the simulator), so a
+// parallel Runner produces byte-identical figure tables to a serial
+// one: the worker count and the cache change wall-clock time, never
+// results.
+
+// MeasureRequest names one measurement: a benchmark under options.
+type MeasureRequest struct {
+	Bench   Bench
+	Options Options
+}
+
+// ProgressEvent reports one completed measurement of a MeasureAll
+// submission.
+type ProgressEvent struct {
+	// Bench is the benchmark that finished.
+	Bench string
+	// Done and Total count completed vs submitted requests of the
+	// current MeasureAll call.
+	Done, Total int
+	// Cached marks requests satisfied from the memoization cache (or by
+	// waiting on an identical in-flight run) rather than by a fresh
+	// simulation.
+	Cached bool
+	// Err is the measurement error, if any.
+	Err error
+}
+
+// ProgressFunc consumes progress events. Calls are serialized across
+// the whole Runner, and within one MeasureAll submission Done values
+// arrive in strictly increasing order, so a callback may render
+// in-place progress lines without tearing.
+type ProgressFunc func(ProgressEvent)
+
+// RunnerStats counts the runner's activity.
+type RunnerStats struct {
+	// Requests is the number of measurements requested.
+	Requests int64
+	// Runs is the number of simulations actually executed.
+	Runs int64
+	// CacheHits is the number of requests satisfied without a fresh
+	// simulation; Requests == Runs + CacheHits.
+	CacheHits int64
+	// Errors is the number of executed runs that failed.
+	Errors int64
+}
+
+// measureKey identifies a measurement up to result equality: the
+// benchmark name plus the canonicalized options (defaults resolved, the
+// machine resolved to a value). Two requests with equal keys produce
+// bit-identical Measurements, which is what licenses memoization.
+//
+// Benchmarks are identified by name: a custom Bench must use a name
+// distinct from any differently-configured benchmark measured through
+// the same Runner.
+type measureKey struct {
+	bench string
+	opt   canonicalOptions
+}
+
+// canonicalOptions is Options with Measure's defaulting applied and the
+// machine held by value, so it is comparable and collision-free.
+type canonicalOptions struct {
+	machine      Machine
+	cores        int
+	smt          bool
+	splitSockets bool
+	polluteBytes uint64
+	warmupInsts  int64
+	measureInsts int64
+	seed         int64
+}
+
+// canonicalize is the single defaulting resolution: Measure consumes
+// the canonical form directly, so requests spelled differently but
+// measured identically share a cache slot by construction — the cache
+// key and the measurement semantics cannot drift apart.
+func canonicalize(o Options) canonicalOptions {
+	c := canonicalOptions{
+		cores:        o.Cores,
+		smt:          o.SMT,
+		splitSockets: o.SplitSockets,
+		polluteBytes: o.PolluteBytes,
+		warmupInsts:  o.WarmupInsts,
+		measureInsts: o.MeasureInsts,
+		seed:         o.Seed,
+	}
+	if c.cores <= 0 {
+		c.cores = 4
+	}
+	if c.warmupInsts == 0 {
+		c.warmupInsts = DefaultOptions().WarmupInsts
+	}
+	if c.measureInsts == 0 {
+		c.measureInsts = DefaultOptions().MeasureInsts
+	}
+	if o.Machine != nil {
+		c.machine = *o.Machine
+	} else if o.SplitSockets {
+		c.machine = TwoSocket()
+	} else {
+		c.machine = XeonX5670()
+	}
+	return c
+}
+
+// cacheCell is one memoized measurement. The first requester computes
+// it; concurrent requesters for the same key wait on done (a
+// single-flight, so identical configurations never run twice).
+type cacheCell struct {
+	done chan struct{}
+	m    *Measurement
+	err  error
+}
+
+// Runner orchestrates measurements: a worker pool bounded by a
+// configurable width plus a memoization cache keyed on (bench,
+// canonicalized options). One Runner can be shared by many experiment
+// drivers — cmd/figures submits all selected figures through a single
+// Runner so baseline configurations measured by several figures run
+// once. All methods are safe for concurrent use, and the width bounds
+// the Runner as a whole: concurrent MeasureAll calls share the same
+// simulation slots rather than multiplying them.
+type Runner struct {
+	workers  int
+	slots    chan struct{} // Runner-wide semaphore on executing simulations
+	progress ProgressFunc
+	progMu   sync.Mutex // serializes progress emission Runner-wide
+
+	mu    sync.Mutex
+	cache map[measureKey]*cacheCell
+	stats RunnerStats
+}
+
+// NewRunner returns a Runner with the given worker-pool width.
+// workers <= 0 selects GOMAXPROCS.
+func NewRunner(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		workers: workers,
+		slots:   make(chan struct{}, workers),
+		cache:   map[measureKey]*cacheCell{},
+	}
+}
+
+// Workers reports the worker-pool width.
+func (r *Runner) Workers() int { return r.workers }
+
+// SetProgress installs a progress callback. Pass nil to disable.
+func (r *Runner) SetProgress(f ProgressFunc) {
+	r.mu.Lock()
+	r.progress = f
+	r.mu.Unlock()
+}
+
+// Stats returns a snapshot of the runner's counters.
+func (r *Runner) Stats() RunnerStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+func (r *Runner) emit(ev ProgressEvent) {
+	r.mu.Lock()
+	f := r.progress
+	r.mu.Unlock()
+	if f != nil {
+		f(ev)
+	}
+}
+
+// MeasureAll measures every request, fanning them out across the worker
+// pool, and returns results in request order: results[i] belongs to
+// reqs[i]. Duplicate requests (and requests matching earlier cached
+// runs) are satisfied from the memoization cache. On error the first
+// failure in request order is returned; because measurements are
+// deterministic, which error that is does not depend on scheduling.
+func (r *Runner) MeasureAll(reqs []MeasureRequest) ([]*Measurement, error) {
+	n := len(reqs)
+	results := make([]*Measurement, n)
+	errs := make([]error, n)
+
+	// Progress is reported under the Runner-wide progMu, which also
+	// owns this call's counter: callbacks never run concurrently (even
+	// from concurrent MeasureAll calls on a shared Runner) and within
+	// this submission Done never goes backwards, so the final event is
+	// the last one this submission delivers.
+	var doneCount int
+	report := func(req MeasureRequest, cached bool, err error) {
+		r.progMu.Lock()
+		doneCount++
+		r.emit(ProgressEvent{Bench: req.Bench.Name, Done: doneCount, Total: n, Cached: cached, Err: err})
+		r.progMu.Unlock()
+	}
+
+	// Dispatch only the first occurrence of each key to the pool: a
+	// duplicate would park its worker on the identical in-flight run
+	// instead of picking up distinct queued work. Duplicates resolve
+	// against the cache once the unique set has completed.
+	seen := map[measureKey]bool{}
+	var uniq, dups []int
+	for i, req := range reqs {
+		k := measureKey{bench: req.Bench.Name, opt: canonicalize(req.Options)}
+		if seen[k] {
+			dups = append(dups, i)
+		} else {
+			seen[k] = true
+			uniq = append(uniq, i)
+		}
+	}
+
+	workers := r.workers
+	if workers > len(uniq) {
+		workers = len(uniq)
+	}
+	if workers <= 1 {
+		for _, i := range uniq {
+			m, cached, err := r.measureOne(reqs[i])
+			results[i], errs[i] = m, err
+			report(reqs[i], cached, err)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					req := reqs[i]
+					m, cached, err := r.measureOne(req)
+					results[i], errs[i] = m, err
+					report(req, cached, err)
+				}
+			}()
+		}
+		for _, i := range uniq {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for _, i := range dups {
+		m, cached, err := r.measureOne(reqs[i])
+		results[i], errs[i] = m, err
+		report(reqs[i], cached, err)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// measureOne resolves one request against the cache, running the
+// simulation if this is the first request for its key. It reports
+// whether the result came from the cache.
+func (r *Runner) measureOne(req MeasureRequest) (*Measurement, bool, error) {
+	key := measureKey{bench: req.Bench.Name, opt: canonicalize(req.Options)}
+	r.mu.Lock()
+	r.stats.Requests++
+	cell, ok := r.cache[key]
+	if ok {
+		r.stats.CacheHits++
+		r.mu.Unlock()
+		<-cell.done
+		if cell.err != nil {
+			return nil, true, cell.err
+		}
+		m := *cell.m // copy so callers cannot corrupt the cache
+		return &m, true, nil
+	}
+	cell = &cacheCell{done: make(chan struct{})}
+	r.cache[key] = cell
+	r.stats.Runs++
+	r.mu.Unlock()
+
+	// A slot is held only while the simulation executes — never while
+	// waiting on another cell — so the Runner-wide bound cannot
+	// deadlock.
+	r.slots <- struct{}{}
+	cell.m, cell.err = MeasureBench(req.Bench, req.Options)
+	<-r.slots
+	if cell.err != nil {
+		r.mu.Lock()
+		r.stats.Errors++
+		r.mu.Unlock()
+	}
+	close(cell.done)
+	if cell.err != nil {
+		return nil, false, cell.err
+	}
+	m := *cell.m
+	return &m, false, nil
+}
+
+// MeasureBench measures one benchmark through the runner's cache.
+func (r *Runner) MeasureBench(b Bench, o Options) (*Measurement, error) {
+	m, _, err := r.measureOne(MeasureRequest{Bench: b, Options: o})
+	return m, err
+}
+
+// MeasureEntry measures every member of e through the worker pool.
+func (r *Runner) MeasureEntry(e Entry, o Options) (*EntryResult, error) {
+	res, err := r.measureEntrySets([]entrySet{{e: e, o: o}})
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// entrySet is one (entry, options) pair of a driver's enumeration.
+type entrySet struct {
+	e Entry
+	o Options
+}
+
+// measureEntrySets enumerates every member measurement of every set,
+// submits them as one MeasureAll batch, and reassembles per-set
+// EntryResults in set order. This is the substrate the figure drivers
+// stand on: they enumerate their full request matrix up front so the
+// worker pool sees all the parallelism at once.
+func (r *Runner) measureEntrySets(sets []entrySet) ([]*EntryResult, error) {
+	var reqs []MeasureRequest
+	for _, s := range sets {
+		for _, b := range s.e.Members {
+			reqs = append(reqs, MeasureRequest{Bench: b, Options: s.o})
+		}
+	}
+	ms, err := r.MeasureAll(reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*EntryResult, len(sets))
+	pos := 0
+	for i, s := range sets {
+		er := &EntryResult{Label: s.e.Label}
+		for range s.e.Members {
+			er.Measurements = append(er.Measurements, ms[pos])
+			pos++
+		}
+		out[i] = er
+	}
+	return out, nil
+}

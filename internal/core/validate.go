@@ -17,10 +17,19 @@ type Claim struct {
 	Detail string
 }
 
+// Validate measures a minimal set of workloads serially and checks the
+// paper's headline claims; see (*Runner).Validate.
+func Validate(o Options) ([]Claim, error) {
+	return NewRunner(1).Validate(o)
+}
+
 // Validate measures a minimal set of workloads and checks the paper's
 // headline claims. It is the programmatic counterpart of the
-// integration test suite, usable from tools and CI.
-func Validate(o Options) ([]Claim, error) {
+// integration test suite, usable from tools and CI. The full
+// measurement set is enumerated up front and submitted as one batch,
+// so the runner's pool and cache apply (several configurations are
+// shared with the figure drivers).
+func (r *Runner) Validate(o Options) ([]Claim, error) {
 	var claims []Claim
 	add := func(id, statement string, holds bool, detail string, args ...any) {
 		claims = append(claims, Claim{
@@ -29,34 +38,40 @@ func Validate(o Options) ([]Claim, error) {
 		})
 	}
 
-	get := func(name string) (*Measurement, error) {
-		b, ok := FindBench(name)
-		if !ok {
-			return nil, fmt.Errorf("core: bench %q not registered", name)
-		}
-		return MeasureBench(b, o)
+	// The configuration variants the claims compare.
+	oSMT := o
+	oSMT.SMT = true
+	oPol := o
+	if o.Cores < 4 {
+		oPol.Cores = 4
 	}
+	oPol6 := oPol
+	oPol6.PolluteBytes = 6 << 20
+	oSplit := o
+	oSplit.SplitSockets = true
 
-	ws, err := get("Web Search")
+	reqs, err := requestsFor([]namedOptions{
+		{"Web Search", o},
+		{"Data Serving", o},
+		{"Media Streaming", o},
+		{"PARSEC (blackscholes)", o},
+		{"SPECint (bitops)", o},
+		{"Data Serving", oSMT},
+		{"Web Search", oPol},
+		{"Web Search", oPol6},
+		{"MapReduce", oSplit},
+		{"TPC-C", oSplit},
+	})
 	if err != nil {
 		return nil, err
 	}
-	ds, err := get("Data Serving")
+	ms0, err := r.MeasureAll(reqs)
 	if err != nil {
 		return nil, err
 	}
-	ms, err := get("Media Streaming")
-	if err != nil {
-		return nil, err
-	}
-	bs, err := get("PARSEC (blackscholes)")
-	if err != nil {
-		return nil, err
-	}
-	bit, err := get("SPECint (bitops)")
-	if err != nil {
-		return nil, err
-	}
+	ws, ds, ms, bs, bit := ms0[0], ms0[1], ms0[2], ms0[3], ms0[4]
+	dsSMT, wsBase, wsPol := ms0[5], ms0[6], ms0[7]
+	mr, tpcc := ms0[8], ms0[9]
 
 	// Section 4 / Figure 1.
 	add("S4-stalls",
@@ -82,31 +97,12 @@ func Validate(o Options) ([]Claim, error) {
 		ds.MLP() < 3.2 && ws.MLP() < 3.2,
 		"Data Serving MLP %.2f, Web Search MLP %.2f", ds.MLP(), ws.MLP())
 
-	oSMT := o
-	oSMT.SMT = true
-	dsSMT, err := get2("Data Serving", oSMT)
-	if err != nil {
-		return nil, err
-	}
 	add("S4.2-smt",
 		"SMT yields large gains for independent-request scale-out workloads",
 		dsSMT.IPC() > ds.IPC()*1.25,
 		"Data Serving IPC %.2f -> %.2f with SMT", ds.IPC(), dsSMT.IPC())
 
 	// Section 4.3 / Figure 4.
-	oPol := o
-	if o.Cores < 4 {
-		oPol.Cores = 4
-	}
-	wsBase, err := get2("Web Search", oPol)
-	if err != nil {
-		return nil, err
-	}
-	oPol.PolluteBytes = 6 << 20
-	wsPol, err := get2("Web Search", oPol)
-	if err != nil {
-		return nil, err
-	}
 	retention := wsPol.UserIPC() / wsBase.UserIPC()
 	add("S4.3-llc",
 		"Scale-out performance is insensitive to LLC capacity above a few megabytes",
@@ -114,16 +110,6 @@ func Validate(o Options) ([]Claim, error) {
 		"Web Search retains %.0f%% of user-IPC at 6MB effective LLC", 100*retention)
 
 	// Section 4.4 / Figures 6 and 7.
-	oSplit := o
-	oSplit.SplitSockets = true
-	mr, err := get2("MapReduce", oSplit)
-	if err != nil {
-		return nil, err
-	}
-	tpcc, err := get2("TPC-C", oSplit)
-	if err != nil {
-		return nil, err
-	}
 	add("S4.4-sharing",
 		"Scale-out applications share almost no read-write data; OLTP shares actively",
 		mr.SharedRWFracUser() < 0.01 && tpcc.SharedRWFracUser() > mr.SharedRWFracUser(),
@@ -139,13 +125,23 @@ func Validate(o Options) ([]Claim, error) {
 	return claims, nil
 }
 
-// get2 measures a named bench under explicit options.
-func get2(name string, o Options) (*Measurement, error) {
-	b, ok := FindBench(name)
-	if !ok {
-		return nil, fmt.Errorf("core: bench %q not registered", name)
+// namedOptions pairs a registered benchmark name with options.
+type namedOptions struct {
+	name string
+	o    Options
+}
+
+// requestsFor resolves benchmark names into measurement requests.
+func requestsFor(specs []namedOptions) ([]MeasureRequest, error) {
+	reqs := make([]MeasureRequest, len(specs))
+	for i, s := range specs {
+		b, ok := FindBench(s.name)
+		if !ok {
+			return nil, fmt.Errorf("core: bench %q not registered", s.name)
+		}
+		reqs[i] = MeasureRequest{Bench: b, Options: s.o}
 	}
-	return MeasureBench(b, o)
+	return reqs, nil
 }
 
 // AllHold reports whether every claim holds.

@@ -104,6 +104,7 @@ type Emitter struct {
 	n     int
 	seq   int64 // absolute index of the next instruction
 	ch    chan<- []Inst
+	gate  <-chan struct{}
 	stop  <-chan struct{}
 	funcs []frame // call stack
 	// untilBranch counts down instructions until the next auto branch.
@@ -125,7 +126,7 @@ type frameRet struct {
 // stopEmit unwinds the workload goroutine when the generator is closed.
 type stopEmit struct{}
 
-func newEmitter(cfg EmitterConfig, ch chan<- []Inst, stop <-chan struct{}) *Emitter {
+func newEmitter(cfg EmitterConfig, ch chan<- []Inst, gate, stop <-chan struct{}) *Emitter {
 	if cfg.BlockLen <= 0 {
 		cfg.BlockLen = 6
 	}
@@ -137,10 +138,25 @@ func newEmitter(cfg EmitterConfig, ch chan<- []Inst, stop <-chan struct{}) *Emit
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
 		buf:  make([]Inst, cfg.BatchLen),
 		ch:   ch,
+		gate: gate,
 		stop: stop,
 	}
 	e.untilBranch = e.nextBlockLen()
 	return e
+}
+
+// await blocks until the consumer requests the next batch. It is the
+// lockstep half of the generator protocol (see Start): workload code
+// only executes between a batch request and its delivery, so the
+// interleaving of workload goroutines is a deterministic function of
+// the simulator's pull order and runs with the same seed are
+// bit-identical.
+func (e *Emitter) await() {
+	select {
+	case <-e.gate:
+	case <-e.stop:
+		panic(stopEmit{})
+	}
 }
 
 func (e *Emitter) nextBlockLen() int {
@@ -167,6 +183,9 @@ func (e *Emitter) flush() {
 	case <-e.stop:
 		panic(stopEmit{})
 	}
+	// Lockstep: pause until the next batch is requested so no workload
+	// code runs ahead of the simulator.
+	e.await()
 	e.buf = make([]Inst, e.cfg.BatchLen)
 	e.n = 0
 }
@@ -425,8 +444,16 @@ func (e *Emitter) Branch(taken bool, dep Val) {
 
 // ChanGen adapts a channel of batches to the Generator interface.
 // It is produced by Start and owns the background workload goroutine.
+//
+// Generation is lockstep: the workload goroutine only executes between
+// a Next call that needs a batch and the delivery of that batch. At
+// most one workload goroutine of a simulation therefore runs at a
+// time, in exactly the order the (single-threaded) simulator pulls
+// batches, which makes a run a deterministic function of its seeds
+// even when threads share data structures.
 type ChanGen struct {
 	ch   chan []Inst
+	gate chan struct{}
 	stop chan struct{}
 	cur  []Inst
 	pos  int
@@ -440,6 +467,13 @@ func (g *ChanGen) Next(out []Inst) int {
 		if g.pos == len(g.cur) {
 			if g.done {
 				break
+			}
+			// Wake the producer for exactly one batch. The gate holds one
+			// buffered token; after the stream ends extra tokens are
+			// dropped here rather than blocking.
+			select {
+			case g.gate <- struct{}{}:
+			default:
 			}
 			batch, ok := <-g.ch
 			if !ok {
@@ -473,10 +507,23 @@ func (g *ChanGen) Close() {
 // returns the generator producing its instruction stream. When run
 // returns, the stream ends. When the generator is closed, the goroutine
 // is unwound at its next emission.
+//
+// The goroutine runs in lockstep with the consumer (see ChanGen): it
+// computes one batch per request and is parked otherwise, so runs are
+// reproducible and concurrent simulations do not interfere.
+//
+// Because any emitter call can park the goroutine at a batch boundary,
+// workload code must NOT hold a Go lock across emitter calls: a parked
+// lock holder would deadlock every other thread of the workload that
+// contends for the lock (their batches can never be delivered while
+// they block on it). Record the data needed under the lock, release
+// it, then emit — see the dataserving skiplist paths for the pattern.
+// Plain atomics are fine.
 func Start(cfg EmitterConfig, run func(*Emitter)) *ChanGen {
-	ch := make(chan []Inst, 4)
+	ch := make(chan []Inst)
+	gate := make(chan struct{}, 1)
 	stop := make(chan struct{})
-	g := &ChanGen{ch: ch, stop: stop}
+	g := &ChanGen{ch: ch, gate: gate, stop: stop}
 	go func() {
 		defer close(ch)
 		defer func() {
@@ -487,7 +534,8 @@ func Start(cfg EmitterConfig, run func(*Emitter)) *ChanGen {
 				panic(r)
 			}
 		}()
-		e := newEmitter(cfg, ch, stop)
+		e := newEmitter(cfg, ch, gate, stop)
+		e.await() // do not run workload code before the first request
 		run(e)
 		e.flush()
 	}()

@@ -158,9 +158,36 @@ func (s *Store) Start(n int, seed int64) []*trace.ChanGen {
 	return gens
 }
 
+// probeStep is one recorded step of a read-side skiplist traversal.
+type probeStep struct {
+	addr uint64
+	lvl  uint64
+	alu  bool
+}
+
+// chase is one recorded pointer chase of a write-side traversal.
+type chase struct {
+	addr uint64
+	lvl  uint64
+}
+
+// linkPair is one recorded per-level pointer update of an insert.
+type linkPair struct {
+	newAddr, predAddr uint64
+}
+
+// scratch is per-thread recording space for the snapshot-then-emit
+// paths, reused across requests so the hot loop does not allocate.
+type scratch struct {
+	path   []probeStep
+	walk   []chase
+	linked []linkPair
+}
+
 // serve is one server thread's request loop.
 func (s *Store) serve(e *trace.Emitter, tid int, seed int64) {
 	rng := rand.New(rand.NewSource(seed))
+	var sc scratch
 	zipf := workloads.NewZipf(rng, 0.99, s.cfg.Records)
 	conn := s.kern.OpenConnOn(tid)
 	stack := workloads.StackOf(tid)
@@ -178,10 +205,10 @@ func (s *Store) serve(e *trace.Emitter, tid int, seed int64) {
 		s.bank.Exec(e, key*0x9e3779b9+uint64(tid), 22, s.cfg.FrameworkInsts, stack, 3)
 
 		if rng.Float64() < s.cfg.ReadFrac {
-			s.read(e, key, respBuf, stack)
+			s.read(e, key, respBuf, stack, &sc)
 			s.kern.Send(e, conn, respBuf, int(s.cfg.RecordBytes))
 		} else {
-			s.write(e, key, rng, stack)
+			s.write(e, key, rng, stack, &sc)
 			s.kern.Send(e, conn, respBuf, 64)
 		}
 
@@ -196,20 +223,33 @@ func (s *Store) serve(e *trace.Emitter, tid int, seed int64) {
 }
 
 // read emits the full read path for key.
-func (s *Store) read(e *trace.Emitter, key uint64, respBuf, stack uint64) {
-	// Memtable probe: pointer-chase down the skiplist.
-	e.InFunc(s.fnMemtable, func() {
-		s.mu.RLock()
-		node := s.memHead
-		v := e.Load(node.addr, 8, trace.NoVal, false)
-		for lvl := s.memLevel - 1; lvl >= 0; lvl-- {
-			for node.next[lvl] != nil && node.next[lvl].key < key {
-				node = node.next[lvl]
-				v = e.Load(node.addr+uint64(lvl)*8, 8, v, true)
-			}
-			v = e.ALU(v, trace.NoVal)
+func (s *Store) read(e *trace.Emitter, key uint64, respBuf, stack uint64, sc *scratch) {
+	// Memtable probe: pointer-chase down the skiplist. The traversal is
+	// recorded under the lock and emitted after releasing it: emitter
+	// calls can park the goroutine at a batch boundary (lockstep
+	// generation, see internal/trace), so no Go lock may be held across
+	// them.
+	sc.path = sc.path[:0]
+	s.mu.RLock()
+	node := s.memHead
+	head := node.addr
+	for lvl := s.memLevel - 1; lvl >= 0; lvl-- {
+		for node.next[lvl] != nil && node.next[lvl].key < key {
+			node = node.next[lvl]
+			sc.path = append(sc.path, probeStep{addr: node.addr, lvl: uint64(lvl)})
 		}
-		s.mu.RUnlock()
+		sc.path = append(sc.path, probeStep{alu: true})
+	}
+	s.mu.RUnlock()
+	e.InFunc(s.fnMemtable, func() {
+		v := e.Load(head, 8, trace.NoVal, false)
+		for _, st := range sc.path {
+			if st.alu {
+				v = e.ALU(v, trace.NoVal)
+			} else {
+				v = e.Load(st.addr+st.lvl*8, 8, v, true)
+			}
+		}
 	})
 
 	// Bloom filters: runs are checked one after another and each check
@@ -286,46 +326,58 @@ func (s *Store) read(e *trace.Emitter, key uint64, respBuf, stack uint64) {
 
 // write emits the write path: a skiplist insert plus a commit-log
 // append.
-func (s *Store) write(e *trace.Emitter, key uint64, rng *rand.Rand, stack uint64) {
+func (s *Store) write(e *trace.Emitter, key uint64, rng *rand.Rand, stack uint64, sc *scratch) {
+	// Real skiplist insert. The structural update happens under the
+	// lock while recording the touched addresses; the instruction
+	// stream is emitted afterwards so no Go lock is held across emitter
+	// calls (which can park the goroutine, see the read path).
+	sc.walk, sc.linked = sc.walk[:0], sc.linked[:0]
+	s.mu.Lock()
+	head := s.memHead.addr
+	update := make([]*slNode, 16)
+	node := s.memHead
+	for lvl := s.memLevel - 1; lvl >= 0; lvl-- {
+		for node.next[lvl] != nil && node.next[lvl].key < key {
+			node = node.next[lvl]
+			sc.walk = append(sc.walk, chase{addr: node.addr, lvl: uint64(lvl)})
+		}
+		update[lvl] = node
+	}
+	h := 1
+	for h < 16 && rng.Intn(2) == 0 {
+		h++
+	}
+	if h > s.memLevel {
+		for l := s.memLevel; l < h; l++ {
+			update[l] = s.memHead
+		}
+		s.memLevel = h
+	}
+	nn := &slNode{key: key, addr: s.heap.AllocLines(160), next: make([]*slNode, h)}
+	for l := 0; l < h; l++ {
+		nn.next[l] = update[l].next[l]
+		update[l].next[l] = nn
+		sc.linked = append(sc.linked, linkPair{newAddr: nn.addr + uint64(l)*8, predAddr: update[l].addr + uint64(l)*8})
+	}
+	s.memCount++
+	// Bound the memtable like a flush would: recycle by dropping
+	// (model only; the sorted runs remain the read target).
+	if s.memCount > 4096 {
+		s.memHead.next = make([]*slNode, 16)
+		s.memLevel = 1
+		s.memCount = 0
+	}
+	s.mu.Unlock()
+
 	e.InFunc(s.fnInsert, func() {
-		s.mu.Lock()
-		// Real skiplist insert with emitted pointer chases and stores.
-		update := make([]*slNode, 16)
-		node := s.memHead
-		v := e.Load(node.addr, 8, trace.NoVal, false)
-		for lvl := s.memLevel - 1; lvl >= 0; lvl-- {
-			for node.next[lvl] != nil && node.next[lvl].key < key {
-				node = node.next[lvl]
-				v = e.Load(node.addr+uint64(lvl)*8, 8, v, true)
-			}
-			update[lvl] = node
+		v := e.Load(head, 8, trace.NoVal, false)
+		for _, c := range sc.walk {
+			v = e.Load(c.addr+c.lvl*8, 8, v, true)
 		}
-		h := 1
-		for h < 16 && rng.Intn(2) == 0 {
-			h++
+		for _, c := range sc.linked {
+			e.Store(c.newAddr, 8, v, trace.NoVal)
+			e.Store(c.predAddr, 8, trace.NoVal, trace.NoVal)
 		}
-		if h > s.memLevel {
-			for l := s.memLevel; l < h; l++ {
-				update[l] = s.memHead
-			}
-			s.memLevel = h
-		}
-		nn := &slNode{key: key, addr: s.heap.AllocLines(160), next: make([]*slNode, h)}
-		for l := 0; l < h; l++ {
-			nn.next[l] = update[l].next[l]
-			update[l].next[l] = nn
-			e.Store(nn.addr+uint64(l)*8, 8, v, trace.NoVal)
-			e.Store(update[l].addr+uint64(l)*8, 8, trace.NoVal, trace.NoVal)
-		}
-		s.memCount++
-		// Bound the memtable like a flush would: recycle by dropping
-		// (model only; the sorted runs remain the read target).
-		if s.memCount > 4096 {
-			s.memHead.next = make([]*slNode, 16)
-			s.memLevel = 1
-			s.memCount = 0
-		}
-		s.mu.Unlock()
 	})
 	e.InFunc(s.fnCommitLog, func() {
 		pos := s.logCur.Add(s.cfg.RecordBytes) % (8 << 20)

@@ -2,6 +2,7 @@ package dataserving
 
 import (
 	"testing"
+	"time"
 
 	"cloudsuite/internal/trace"
 )
@@ -156,5 +157,44 @@ func TestZipfSkewVisitsHotKeys(t *testing.T) {
 	}
 	if counts[0] <= counts[len(counts)-1] {
 		t.Fatalf("no Zipf skew across runs: %v", counts)
+	}
+}
+
+// TestLockstepNoDeadlockAcrossThreads regresses the lockstep hazard:
+// under lockstep generation (internal/trace) a goroutine parked at a
+// batch boundary while holding s.mu would deadlock every sibling
+// thread contending for the lock. The store therefore never emits
+// while holding it. Pulling many alternating batches from two threads
+// of a write-heavy instance deadlocked before that restructuring.
+func TestLockstepNoDeadlockAcrossThreads(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ReadFrac = 0.3 // write-heavy: the insert path takes s.mu often
+	s := New(cfg)
+	gens := s.Start(2, 1)
+	defer func() {
+		for _, g := range gens {
+			g.Close()
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]trace.Inst, 2048)
+		// Alternate single-batch pulls so every batch boundary of one
+		// thread is followed by a demand on the other.
+		for i := 0; i < 300; i++ {
+			for _, g := range gens {
+				if g.Next(buf) == 0 {
+					t.Error("stream ended unexpectedly")
+					return
+				}
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("deadlock: alternating batch pulls did not complete")
 	}
 }

@@ -1,0 +1,94 @@
+package cloudsuite_test
+
+// Runner benchmarks: the wall-clock effect of the worker pool and the
+// measurement memoization cache. Results are bit-identical across all
+// of these configurations (per-seed determinism), so the benchmarks
+// compare cost only.
+//
+// On an N-core host the worker-pool pair shows close to min(N, 4)x;
+// on a single hardware thread the pool cannot help and the win comes
+// entirely from the cache pair, which is host-independent: regenerating
+// figures that share their measurement matrix costs one matrix instead
+// of one per figure (EXPERIMENTS.md records both).
+
+import (
+	"testing"
+
+	"cloudsuite"
+)
+
+// runnerBenchOptions uses reduced budgets so one full scale-out matrix
+// stays in the seconds range.
+func runnerBenchOptions() cloudsuite.Options {
+	o := cloudsuite.DefaultOptions()
+	o.WarmupInsts = 60_000
+	o.MeasureInsts = 20_000
+	return o
+}
+
+// figure1Cold regenerates Figure 1 over the scale-out suite on a fresh
+// runner with the given pool width.
+func figure1Cold(b *testing.B, workers int) {
+	o := runnerBenchOptions()
+	entries := cloudsuite.ScaleOutEntries()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := cloudsuite.NewRunner(workers)
+		if _, err := r.Figure1(entries, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunnerFigure1Workers1 is the serial baseline for the worker
+// pool comparison.
+func BenchmarkRunnerFigure1Workers1(b *testing.B) { figure1Cold(b, 1) }
+
+// BenchmarkRunnerFigure1Workers4 fans the same matrix out across four
+// workers; compare against Workers1 for the pool speedup.
+func BenchmarkRunnerFigure1Workers4(b *testing.B) { figure1Cold(b, 4) }
+
+// BenchmarkFiguresIsolatedRunners regenerates Figures 1, 2 and 7 —
+// which share one measurement matrix — on isolated runners, the
+// pre-memoization cost model: every figure pays for its measurements.
+func BenchmarkFiguresIsolatedRunners(b *testing.B) {
+	o := runnerBenchOptions()
+	entries := cloudsuite.ScaleOutEntries()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cloudsuite.NewRunner(4).Figure1(entries, o); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cloudsuite.NewRunner(4).Figure2(entries, o); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cloudsuite.NewRunner(4).Figure7(entries, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFiguresSharedRunner regenerates the same three figures on
+// one shared runner: the matrix is simulated once and the other two
+// figures aggregate cached measurements. Compare against
+// BenchmarkFiguresIsolatedRunners; the ratio approaches 3x on any
+// host because cache hits cost microseconds.
+func BenchmarkFiguresSharedRunner(b *testing.B) {
+	o := runnerBenchOptions()
+	entries := cloudsuite.ScaleOutEntries()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := cloudsuite.NewRunner(4)
+		if _, err := r.Figure1(entries, o); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Figure2(entries, o); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Figure7(entries, o); err != nil {
+			b.Fatal(err)
+		}
+		s := r.Stats()
+		b.ReportMetric(float64(s.CacheHits)/float64(s.Requests), "cache-hit-ratio")
+	}
+}
