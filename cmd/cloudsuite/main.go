@@ -5,8 +5,8 @@
 // Usage:
 //
 //	cloudsuite -list
-//	cloudsuite -bench "Web Search" [-cores 4] [-smt] [-split] [-pollute 6]
-//	           [-warmup 400000] [-measure 120000] [-seed 1]
+//	cloudsuite -bench "Web Search" [-cores 4] [-sockets 2] [-smt] [-split]
+//	           [-pollute 6] [-warmup 400000] [-measure 120000] [-seed 1]
 //	cloudsuite -bench "Web Search,Data Serving" [-parallel 4] [-progress]
 //	cloudsuite -bench all
 //
@@ -31,6 +31,7 @@ func main() {
 		list     = flag.Bool("list", false, "list benchmarks and exit")
 		bench    = flag.String("bench", "Web Search", `benchmark name, comma-separated names, or "all"`)
 		cores    = flag.Int("cores", 4, "workload cores")
+		sockets  = flag.Int("sockets", 1, "sockets to spread the cores over (NUMA machine; >= 2 implies -split placement)")
 		smt      = flag.Bool("smt", false, "two threads per core")
 		split    = flag.Bool("split", false, "split cores across two sockets")
 		pollute  = flag.Int("pollute", 0, "LLC MB occupied by polluter threads")
@@ -55,7 +56,7 @@ func main() {
 		os.Exit(1)
 	}
 	o := core.Options{
-		Cores: *cores, SMT: *smt, SplitSockets: *split,
+		Cores: *cores, Sockets: *sockets, SMT: *smt, SplitSockets: *split,
 		PolluteBytes: uint64(*pollute) << 20,
 		WarmupInsts:  *warmup, MeasureInsts: *measure, Seed: *seed,
 	}
@@ -129,6 +130,8 @@ func printMeasurement(m *core.Measurement) {
 	fmt.Printf("LLC hit ratio    %.1f%% (%d accesses)\n", 100*c.LLCHitRatio(), c.LLCAccess)
 	fmt.Printf("RW-shared hits   %.2f%% app, %.2f%% OS (of LLC data refs)\n",
 		100*c.SharedRWFracUser(), 100*c.SharedRWFracOS())
+	fmt.Printf("remote socket    %d cache hits, %.1f%% of DRAM reads remote\n",
+		c.RemoteSocketHit, 100*c.RemoteDRAMFrac())
 	fmt.Printf("off-chip BW      %.1f%% utilization (%d KB read, %d KB written)\n",
 		100*c.DRAMUtilization(), (c.OffchipReadUser+c.OffchipReadOS)>>10, c.OffchipWriteback>>10)
 	fmt.Printf("branches         %.2f%% mispredicted\n", 100*c.MispredictRate())

@@ -4,8 +4,12 @@
 //
 // Usage:
 //
-//	figures [-only 1,3,7] [-quick] [-seed 1] [-parallel 4] [-progress]
+//	figures [-only 1,3,7] [-fig scaling] [-quick] [-seed 1] [-parallel 4] [-progress]
 //
+// -only selects numbered figures; -fig selects named experiments beyond
+// the paper's figures (currently "scaling", the NUMA scale-up study
+// sweeping 1-12 cores over 1-2 sockets). The two compose: selecting
+// anything runs only the selection.
 // -quick shrinks the per-run instruction budgets ~4x for a fast pass.
 // All selected figures share one measurement Runner: -parallel sets its
 // worker-pool width (0 = GOMAXPROCS) and configurations common to
@@ -27,6 +31,7 @@ import (
 func main() {
 	var (
 		only     = flag.String("only", "", "comma-separated figure numbers (default: all, 0 = Table 1, i = implications)")
+		fig      = flag.String("fig", "", `comma-separated named experiments ("scaling" = NUMA scale-up study)`)
 		quick    = flag.Bool("quick", false, "reduced instruction budgets")
 		check    = flag.Bool("check", false, "validate the paper's claims and exit")
 		seed     = flag.Int64("seed", 1, "random seed")
@@ -47,11 +52,24 @@ func main() {
 	}
 
 	want := map[string]bool{}
-	if *only != "" {
-		for _, f := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(f)] = true
+	for _, arg := range []string{*only, *fig} {
+		if arg == "" {
+			continue
+		}
+		for _, f := range strings.Split(arg, ",") {
+			name := strings.TrimSpace(f)
+			switch name {
+			case "":
+				// tolerate stray commas
+			case "0", "1", "2", "3", "4", "5", "6", "7", "i", "scaling":
+				want[name] = true
+			default:
+				fail(fmt.Errorf("unknown figure %q (valid: 0-7, i, scaling)", name))
+			}
 		}
 	}
+	// Named experiments run only when selected; numbered figures run by
+	// default when nothing is selected.
 	sel := func(n string) bool { return len(want) == 0 || want[n] }
 
 	if *check {
@@ -87,6 +105,9 @@ func main() {
 	}
 	if want["i"] {
 		implications(runner, o)
+	}
+	if want["scaling"] {
+		figureScaling(runner, o)
 	}
 
 	if *progress {
@@ -161,6 +182,26 @@ func implications(runner *core.Runner, o core.Options) {
 			report.F2(r.IPCNone), report.F2(r.IPCNextLine), report.F2(r.IPCStream))
 	}
 	it.Render(os.Stdout)
+}
+
+func figureScaling(runner *core.Runner, o core.Options) {
+	rows, err := runner.ScaleUpStudy(core.ScaleOutEntries(), core.ScaleUpPoints(), o)
+	if err != nil {
+		fail(err)
+	}
+	t := report.Table{
+		Title:  "Scale-up study: scale-out workloads vs cores and sockets",
+		Header: []string{"Workload", "SxC", "chip IPC", "speedup", "MLP", "BW util", "rem-hit/KI", "rem-DRAM"},
+	}
+	for _, r := range rows {
+		for _, c := range r.Cells {
+			t.Add(r.Label, fmt.Sprintf("%dx%d", c.Sockets, c.Cores),
+				report.F2(c.ChipIPC), fmt.Sprintf("%.2fx", c.Speedup),
+				report.F2(c.MLP), report.Pct(c.BWUtil),
+				report.F2(c.RemoteHitPKI), report.Pct(c.RemoteDRAMFrac))
+		}
+	}
+	t.Render(os.Stdout)
 }
 
 func fail(err error) {

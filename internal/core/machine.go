@@ -55,21 +55,34 @@ func XeonX5670() Machine {
 			DCUStreamer:    true,
 
 			RemoteHitCycles: 110,
+			RemoteMemCycles: 90,
 			DRAM:            dram.Config{Channels: 3, AccessCycles: 190, TransferCycles: 18},
 		},
 	}
+}
+
+// MultiSocket returns the Table-1 machine scaled to n sockets. Each
+// socket keeps its own LLC and its own three-channel memory controller
+// (pages interleave across sockets), so aggregate cache capacity and
+// bandwidth scale with the socket count, like the NUMA blades the
+// paper measures on.
+func MultiSocket(n int) Machine {
+	m := XeonX5670()
+	if n < 1 {
+		n = 1
+	}
+	m.Mem.Sockets = n
+	if n > 1 {
+		m.Name = itoa(n) + "x Intel Xeon X5670"
+	}
+	return m
 }
 
 // TwoSocket returns the dual-socket PowerEdge M1000e blade
 // configuration used for the read-write sharing measurement
 // (Section 3.1: cores split across two physical processors so accesses
 // to actively shared blocks appear as hits in the remote cache).
-func TwoSocket() Machine {
-	m := XeonX5670()
-	m.Name = "2x Intel Xeon X5670"
-	m.Mem.Sockets = 2
-	return m
-}
+func TwoSocket() Machine { return MultiSocket(2) }
 
 // TableRow is one row of the Table-1 parameter listing.
 type TableRow struct {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"cloudsuite/internal/sim/cache"
 	"cloudsuite/internal/sim/counters"
 	"cloudsuite/internal/sim/engine"
 	"cloudsuite/internal/trace"
@@ -25,6 +26,11 @@ type Options struct {
 	// SplitSockets places half the workload cores on each socket, the
 	// configuration used to expose read-write sharing (Figure 6).
 	SplitSockets bool
+	// Sockets spreads the workload over a multi-socket machine: values
+	// >= 2 select the n-socket Table-1 machine (unless Machine is set)
+	// and imply SplitSockets placement. 0 or 1 leaves the default
+	// single-socket configuration. The NUMA scale-up study sweeps this.
+	Sockets int
 	// PolluteBytes, when non-zero, dedicates two extra cores to
 	// cache-polluting threads that occupy the given amount of LLC
 	// (Figure 4's capacity sensitivity methodology).
@@ -76,6 +82,12 @@ func Measure(w workloads.Workload, o Options) (*Measurement, error) {
 	c := canonicalize(o)
 	machine := &c.machine
 
+	if c.cores > machine.Mem.TotalCores() ||
+		(!c.splitSockets && c.cores > machine.Mem.CoresPerSocket) {
+		return nil, fmt.Errorf("core: %d workload cores exceed the %s capacity (%d sockets x %d cores)",
+			c.cores, machine.Name, machine.Mem.Sockets, machine.Mem.CoresPerSocket)
+	}
+
 	// Thread placement.
 	nThreads := c.cores
 	if c.smt {
@@ -83,16 +95,7 @@ func Measure(w workloads.Workload, o Options) (*Measurement, error) {
 	}
 	coreOf := make([]int, nThreads)
 	for i := range coreOf {
-		cid := i % c.cores
-		if c.splitSockets {
-			// Interleave across the two sockets: half the cores are on
-			// socket 1 (global ids offset by CoresPerSocket).
-			half := c.cores / 2
-			if cid >= half {
-				cid = machine.Mem.CoresPerSocket + (cid - half)
-			}
-		}
-		coreOf[i] = cid
+		coreOf[i] = placeCore(i%c.cores, c.cores, c.splitSockets, machine.Mem)
 	}
 
 	gens := w.Start(nThreads, c.seed)
@@ -106,20 +109,21 @@ func Measure(w workloads.Workload, o Options) (*Measurement, error) {
 		threads = append(threads, engine.Thread{Gen: g, Core: coreOf[i], Measured: true})
 	}
 
-	// Cache polluters: two dedicated cores traverse an array sized to
-	// occupy PolluteBytes of the LLC, shrinking the capacity available
-	// to the workload (Section 3.1).
+	// Cache polluters: dedicated cores traverse arrays sized to occupy
+	// PolluteBytes of LLC, shrinking the capacity available to the
+	// workload (Section 3.1). Every socket the workload runs on gets
+	// polluted — a multi-socket run has one LLC per socket.
 	var polluters []*trace.ChanGen
 	if c.polluteBytes > 0 {
-		pc1, pc2 := c.cores, c.cores+1
-		if pc2 >= machine.Mem.CoresPerSocket {
-			return nil, fmt.Errorf("core: no spare cores for polluters (%d workload cores on a %d-core socket)",
-				c.cores, machine.Mem.CoresPerSocket)
+		pcores, err := polluterCores(coreOf, machine.Mem)
+		if err != nil {
+			return nil, err
 		}
-		for i := 0; i < 2; i++ {
-			g := startPolluter(c.polluteBytes/2, uint64(i), c.seed+1000+int64(i))
+		per := c.polluteBytes / uint64(len(pcores))
+		for i, pc := range pcores {
+			g := startPolluter(per, uint64(i), c.seed+1000+int64(i))
 			polluters = append(polluters, g)
-			threads = append(threads, engine.Thread{Gen: g, Core: pc1 + i, Measured: false})
+			threads = append(threads, engine.Thread{Gen: g, Core: pc, Measured: false})
 		}
 		defer func() {
 			for _, g := range polluters {
@@ -159,6 +163,56 @@ func Measure(w workloads.Workload, o Options) (*Measurement, error) {
 	total.DRAMChannels = res.Total.DRAMChannels
 	m := &Measurement{Counters: total, WindowCycles: res.Cycles, BenchName: w.Name()}
 	return m, nil
+}
+
+// placeCore maps workload-core index cid (0..n-1) to a global core id.
+// Single-socket placement uses socket 0's cores in order; split
+// placement spreads the n cores over the machine's sockets in
+// contiguous even blocks (the first block on socket 0), the
+// configuration the paper uses to expose read-write sharing as
+// remote-cache hits (Section 3.1).
+func placeCore(cid, n int, split bool, mem cache.SystemConfig) int {
+	if !split || mem.Sockets < 2 {
+		return cid
+	}
+	per := (n + mem.Sockets - 1) / mem.Sockets
+	return (cid/per)*mem.CoresPerSocket + cid%per
+}
+
+// polluterCores picks the cores the cache polluters run on: two spare
+// cores on a single-socket run (the paper's configuration), or one
+// spare core on each socket the workload occupies, so every LLC under
+// test is polluted.
+func polluterCores(coreOf []int, mem cache.SystemConfig) ([]int, error) {
+	used := make(map[int]bool, len(coreOf))
+	sockets := map[int]bool{}
+	for _, c := range coreOf {
+		used[c] = true
+		sockets[c/mem.CoresPerSocket] = true
+	}
+	perSocket := 1
+	if len(sockets) == 1 {
+		perSocket = 2
+	}
+	var out []int
+	for so := 0; so < mem.Sockets; so++ {
+		if !sockets[so] {
+			continue
+		}
+		found := 0
+		for local := 0; local < mem.CoresPerSocket && found < perSocket; local++ {
+			id := so*mem.CoresPerSocket + local
+			if !used[id] {
+				out = append(out, id)
+				found++
+			}
+		}
+		if found < perSocket {
+			return nil, fmt.Errorf("core: no spare cores for polluters on socket %d (%d workload cores on a %d-core socket)",
+				so, len(used), mem.CoresPerSocket)
+		}
+	}
+	return out, nil
 }
 
 // startPolluter launches one cache-polluter thread: it traverses a

@@ -89,7 +89,7 @@ func canonicalize(o Options) canonicalOptions {
 	c := canonicalOptions{
 		cores:        o.Cores,
 		smt:          o.SMT,
-		splitSockets: o.SplitSockets,
+		splitSockets: o.SplitSockets || o.Sockets >= 2,
 		polluteBytes: o.PolluteBytes,
 		warmupInsts:  o.WarmupInsts,
 		measureInsts: o.MeasureInsts,
@@ -104,11 +104,14 @@ func canonicalize(o Options) canonicalOptions {
 	if c.measureInsts == 0 {
 		c.measureInsts = DefaultOptions().MeasureInsts
 	}
-	if o.Machine != nil {
+	switch {
+	case o.Machine != nil:
 		c.machine = *o.Machine
-	} else if o.SplitSockets {
+	case o.Sockets >= 2:
+		c.machine = MultiSocket(o.Sockets)
+	case o.SplitSockets:
 		c.machine = TwoSocket()
-	} else {
+	default:
 		c.machine = XeonX5670()
 	}
 	return c

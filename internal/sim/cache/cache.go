@@ -107,9 +107,17 @@ func (c *Cache) probe(lineAddr uint64, touch bool) *line {
 // Contains reports whether the cache holds lineAddr without touching LRU.
 func (c *Cache) Contains(lineAddr uint64) bool { return c.probe(lineAddr, false) != nil }
 
-// insert places lineAddr into the cache, evicting the LRU way if needed.
-// It returns the victim's state so the caller can handle writebacks and
-// back-invalidation. If the line was already present it is reused.
+// insert places lineAddr into the cache, evicting a way if the set is
+// full. It returns the victim's state so the caller can handle
+// writebacks and back-invalidation. If the line was already present it
+// is reused.
+//
+// Victim-selection order (pinned by TestVictimSelectionOrder): invalid
+// ways are always preferred over valid ones, taking the lowest-indexed
+// invalid way regardless of LRU stamps — in particular, a way freed by
+// invalidate (whose stamp resets to zero) is refilled by the next
+// insert into its set. Only when every way is valid does true-LRU pick
+// the smallest stamp.
 func (c *Cache) insert(lineAddr uint64, fl lineFlags) (victim line, evicted bool, slot *line) {
 	if l := c.probe(lineAddr, true); l != nil {
 		l.flags |= fl

@@ -112,3 +112,59 @@ func TestUtilization(t *testing.T) {
 		t.Fatalf("full cache utilization = %f", c.Utilization())
 	}
 }
+
+// TestVictimSelectionOrder pins insert's victim-selection semantics so
+// refactors cannot silently change replacement behaviour: invalid ways
+// are preferred over valid ones (lowest index first, ignoring LRU
+// stamps), so a way freed by invalidate is the next victim of its set;
+// only a fully-valid set falls back to true-LRU.
+func TestVictimSelectionOrder(t *testing.T) {
+	mk := func() *Cache {
+		// One set, four ways: lines 0..3 fill ways 0..3 in order.
+		c := New(Config{SizeBytes: 4 * 64, Assoc: 4})
+		for la := uint64(0); la < 4; la++ {
+			c.insert(la, 0)
+		}
+		return c
+	}
+
+	t.Run("invalidated way is reused first", func(t *testing.T) {
+		c := mk()
+		c.invalidate(1)
+		// Way 0 (line 0) holds the oldest LRU stamp, but the freed way
+		// must win.
+		if v, evicted, _ := c.insert(10, 0); evicted {
+			t.Fatalf("insert into a set with a free way evicted line %#x", v.tag-1)
+		}
+		for _, la := range []uint64{0, 2, 3, 10} {
+			if !c.Contains(la) {
+				t.Fatalf("line %#x lost", la)
+			}
+		}
+	})
+
+	t.Run("lowest-indexed invalid way wins", func(t *testing.T) {
+		c := mk()
+		c.invalidate(3) // later way freed first...
+		c.invalidate(1) // ...then an earlier way
+		c.insert(10, 0)
+		c.insert(11, 0)
+		// Way 1 must be filled before way 3 regardless of freeing order:
+		// the scan stops at the first invalid way.
+		if got := c.lines[1].tag - 1; got != 10 {
+			t.Fatalf("way 1 holds line %#x, want 10", got)
+		}
+		if got := c.lines[3].tag - 1; got != 11 {
+			t.Fatalf("way 3 holds line %#x, want 11", got)
+		}
+	})
+
+	t.Run("full set falls back to true LRU", func(t *testing.T) {
+		c := mk()
+		c.probe(0, true) // refresh line 0: line 1 is now LRU
+		v, evicted, _ := c.insert(10, 0)
+		if !evicted || v.tag-1 != 1 {
+			t.Fatalf("evicted %#x (evicted=%v), want LRU line 1", v.tag-1, evicted)
+		}
+	})
+}

@@ -1,0 +1,175 @@
+package cache
+
+import (
+	"testing"
+
+	"cloudsuite/internal/trace"
+	"cloudsuite/internal/workloads"
+	"cloudsuite/internal/workloads/dataserving"
+	"cloudsuite/internal/workloads/mapreduce"
+	"cloudsuite/internal/workloads/satsolver"
+	"cloudsuite/internal/workloads/streaming"
+	"cloudsuite/internal/workloads/webfrontend"
+	"cloudsuite/internal/workloads/websearch"
+)
+
+func TestCheckInvariantsCleanSystem(t *testing.T) {
+	s := NewSystem(testSystemConfig(2, 2))
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("empty system violates invariants: %v", err)
+	}
+	s.AccessData(0, 0x1000, true, false, 0)
+	s.AccessData(3, 0x1000, false, false, 100)
+	s.FetchInstr(1, 0x40_0000, 200, false)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("simple traffic violates invariants: %v", err)
+	}
+}
+
+// The checker must actually detect corrupted states, or wiring it into
+// tests proves nothing.
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	line := uint64(0x1000) >> LineShift
+	corrupt := []struct {
+		name string
+		prep func(s *System)
+	}{
+		{"inclusion", func(s *System) {
+			s.AccessData(0, 0x1000, false, false, 0)
+			s.llcs[0].invalidate(line) // private copies left dangling
+		}},
+		{"stale-sharers", func(s *System) {
+			s.AccessData(0, 0x1000, false, false, 0)
+			s.llcs[0].probe(line, false).sharers = 0
+		}},
+		{"foreign-sharer", func(s *System) {
+			s.AccessData(0, 0x1000, false, false, 0)
+			s.llcs[0].probe(line, false).sharers |= 1 << 2 // socket-1 core
+		}},
+		{"owner-not-sharer", func(s *System) {
+			s.AccessData(0, 0x1000, true, false, 0)
+			s.llcs[0].probe(line, false).sharers = 1 << 1
+			s.cores[1].l1d.insert(line, 0)
+			s.cores[0].l1d.invalidate(line)
+			s.cores[0].l2.invalidate(line)
+		}},
+		{"absent-owner", func(s *System) {
+			s.AccessData(0, 0x1000, true, false, 0)
+			s.cores[0].l1d.invalidate(line)
+			s.cores[0].l2.invalidate(line)
+		}},
+		{"modified-duplicate", func(s *System) {
+			s.AccessData(0, 0x1000, true, false, 0)
+			s.llcs[1].insert(line, 0)
+		}},
+		{"exclusive-without-owner", func(s *System) {
+			s.AccessData(0, 0x1000, true, false, 0)
+			s.llcs[0].probe(line, false).owner = -1
+		}},
+	}
+	for _, tc := range corrupt {
+		s := NewSystem(noPrefetchConfig(2, 2))
+		tc.prep(s)
+		if err := s.CheckInvariants(); err == nil {
+			t.Errorf("%s: corruption not detected", tc.name)
+		}
+	}
+}
+
+// replayOnSystem streams per-thread workload traces into the memory
+// system the way the engine's warm-up loop does: instruction fetches on
+// line transitions plus every load and store, round-robin across
+// threads so accesses to shared structures interleave.
+func replayOnSystem(t *testing.T, s *System, gens []*trace.ChanGen, perThread int) {
+	t.Helper()
+	type state struct {
+		buf      []trace.Inst
+		n, pos   int
+		lastLine uint64
+		done     int
+	}
+	sts := make([]*state, len(gens))
+	for i := range sts {
+		sts[i] = &state{buf: make([]trace.Inst, 256)}
+	}
+	now := int64(0)
+	for active := true; active; {
+		active = false
+		for tid, g := range gens {
+			st := sts[tid]
+			if st.done >= perThread {
+				continue
+			}
+			// One short burst per thread per round.
+			for burst := 0; burst < 32 && st.done < perThread; burst++ {
+				if st.pos == st.n {
+					st.n = g.Next(st.buf)
+					st.pos = 0
+					if st.n == 0 {
+						st.done = perThread
+						break
+					}
+				}
+				in := &st.buf[st.pos]
+				st.pos++
+				st.done++
+				core := tid % len(s.cores)
+				if line := in.PC >> LineShift; line != st.lastLine {
+					s.FetchInstr(core, in.PC, now, in.Kernel)
+					st.lastLine = line
+				}
+				if in.Op == trace.OpLoad || in.Op == trace.OpStore {
+					s.AccessData(core, in.Addr, in.Op == trace.OpStore, in.Kernel, now)
+				}
+				now += 2
+			}
+			if st.done < perThread {
+				active = true
+			}
+		}
+	}
+}
+
+// A two-socket system must hold the coherence invariants across real
+// traffic from every scale-out workload, so the multi-socket paths can
+// never go dormant-and-broken again.
+func TestInvariantsHoldOnScaleOutTraces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload trace replay is slow")
+	}
+	benches := []struct {
+		name string
+		mk   func() workloads.Workload
+	}{
+		{"Data Serving", func() workloads.Workload { return dataserving.New(dataserving.DefaultConfig()) }},
+		{"MapReduce", func() workloads.Workload { return mapreduce.New(mapreduce.DefaultConfig()) }},
+		{"Media Streaming", func() workloads.Workload { return streaming.New(streaming.DefaultConfig()) }},
+		{"SAT Solver", func() workloads.Workload { return satsolver.New(satsolver.DefaultConfig()) }},
+		{"Web Frontend", func() workloads.Workload { return webfrontend.New(webfrontend.DefaultConfig()) }},
+		{"Web Search", func() workloads.Workload { return websearch.New(websearch.DefaultConfig()) }},
+	}
+	for _, b := range benches {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			s := NewSystem(testSystemConfig(2, 2))
+			s.EnableInvariantChecks(5)
+			gens := b.mk().Start(4, 1)
+			defer func() {
+				for _, g := range gens {
+					g.Close()
+				}
+			}()
+			replayOnSystem(t, s, gens, 8000)
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("%s: %v", b.name, err)
+			}
+			var remote uint64
+			for c := range s.cores {
+				remote += s.Ctr(c).RemoteSocketHit
+			}
+			if remote == 0 {
+				t.Errorf("%s: a two-socket run with shared data saw no remote hits", b.name)
+			}
+		})
+	}
+}

@@ -10,6 +10,10 @@ import (
 // machine: per-core private caches, one shared LLC per socket, the
 // prefetcher enable bits, and the DRAM controller.
 type SystemConfig struct {
+	// Sockets x CoresPerSocket is the machine's core grid. The LLC
+	// directory tracks private copies in a 32-bit global-core bitmask,
+	// so TotalCores() must not exceed 32 (the engine rejects larger
+	// configurations).
 	Sockets        int
 	CoresPerSocket int
 
@@ -42,6 +46,16 @@ type SystemConfig struct {
 	// socket's cache (QPI hop + remote LLC).
 	RemoteHitCycles int
 
+	// RemoteMemCycles is the extra latency of a line fetch serviced by
+	// the other socket's memory controller (the QPI hop to remote DRAM).
+	// Each socket owns its own controller; physical pages are
+	// interleaved across sockets at 4KB granularity.
+	RemoteMemCycles int
+
+	// DRAM configures one socket's memory controller. A multi-socket
+	// system instantiates one controller per socket, so aggregate
+	// channel count and bandwidth scale with the socket count, as on
+	// the measured machine.
 	DRAM dram.Config
 }
 
@@ -78,6 +92,7 @@ func DefaultSystemConfig() SystemConfig {
 		HWPrefetcher:    true,
 		DCUStreamer:     true,
 		RemoteHitCycles: 110,
+		RemoteMemCycles: 90,
 		DRAM:            dram.DefaultConfig(),
 	}
 }
@@ -98,14 +113,23 @@ type System struct {
 	cfg   SystemConfig
 	cores []coreCaches
 	llcs  []*Cache
-	mem   *dram.Controller
+	mems  []*dram.Controller // one controller per socket
 	ctrs  []*counters.Counters
+
+	// checkEvery, when positive, runs CheckInvariants after every n-th
+	// access (see invariants.go).
+	checkEvery int
+	accesses   uint64
 }
 
 // NewSystem builds the memory system.
 func NewSystem(cfg SystemConfig) *System {
 	n := cfg.TotalCores()
-	s := &System{cfg: cfg, mem: dram.New(cfg.DRAM)}
+	s := &System{cfg: cfg}
+	s.mems = make([]*dram.Controller, cfg.Sockets)
+	for i := range s.mems {
+		s.mems[i] = dram.New(cfg.DRAM)
+	}
 	s.cores = make([]coreCaches, n)
 	s.ctrs = make([]*counters.Counters, n)
 	for i := range s.cores {
@@ -118,7 +142,7 @@ func NewSystem(cfg SystemConfig) *System {
 		if cfg.IPrefetch == IPrefStream {
 			s.cores[i].streamI = prefetch.NewStreamI(8192)
 		}
-		s.ctrs[i] = &counters.Counters{DRAMChannels: uint64(s.mem.Config().Channels)}
+		s.ctrs[i] = &counters.Counters{DRAMChannels: uint64(s.DRAMTotalChannels())}
 	}
 	s.llcs = make([]*Cache, cfg.Sockets)
 	for i := range s.llcs {
@@ -133,12 +157,71 @@ func (s *System) Config() SystemConfig { return s.cfg }
 // Ctr returns the counter block events triggered by core are charged to.
 func (s *System) Ctr(core int) *counters.Counters { return s.ctrs[core] }
 
-// DRAM exposes the memory controller for bandwidth accounting.
-func (s *System) DRAM() *dram.Controller { return s.mem }
+// DRAM exposes socket 0's memory controller (the whole machine's on a
+// single-socket system).
+func (s *System) DRAM() *dram.Controller { return s.mems[0] }
+
+// DRAMOf exposes one socket's memory controller.
+func (s *System) DRAMOf(socket int) *dram.Controller { return s.mems[socket] }
+
+// DRAMTotalChannels counts memory channels across all sockets.
+func (s *System) DRAMTotalChannels() int {
+	return s.mems[0].Config().Channels * len(s.mems)
+}
+
+// DRAMBusyCycles sums channel busy cycles over every socket's
+// controller.
+func (s *System) DRAMBusyCycles() uint64 {
+	var t uint64
+	for _, m := range s.mems {
+		t += m.BusyCycles()
+	}
+	return t
+}
+
+// DRAMSetSpanStart marks the beginning of a measurement window on every
+// controller.
+func (s *System) DRAMSetSpanStart(cycle int64) {
+	for _, m := range s.mems {
+		m.SetSpanStart(cycle)
+	}
+}
+
+// DRAMResetQueues discards channel backlog on every controller.
+func (s *System) DRAMResetQueues(cycle int64) {
+	for _, m := range s.mems {
+		m.ResetQueues(cycle)
+	}
+}
 
 func (s *System) socketOf(core int) int { return core / s.cfg.CoresPerSocket }
 
 func (s *System) llcOf(core int) *Cache { return s.llcs[s.socketOf(core)] }
+
+// homeSocket maps a line to the socket whose memory controller owns it:
+// physical pages (64 lines) interleave across sockets.
+func (s *System) homeSocket(lineAddr uint64) int {
+	return int((lineAddr >> 6) % uint64(len(s.mems)))
+}
+
+// memRead fetches a line from its home socket's memory controller,
+// charging the QPI hop when the requesting core is on another socket.
+func (s *System) memRead(core int, lineAddr uint64, now int64) int64 {
+	home := s.homeSocket(lineAddr)
+	done := s.mems[home].Read(lineAddr, now)
+	if home == s.socketOf(core) {
+		s.ctrs[core].DRAMReadLocal++
+	} else {
+		s.ctrs[core].DRAMReadRemote++
+		done += int64(s.cfg.RemoteMemCycles)
+	}
+	return done
+}
+
+// memWrite posts a line writeback to its home socket's controller.
+func (s *System) memWrite(lineAddr uint64, now int64) {
+	s.mems[s.homeSocket(lineAddr)].Write(lineAddr, now)
+}
 
 // --- fill helpers -----------------------------------------------------
 
@@ -159,18 +242,8 @@ func (s *System) evictLLCVictim(core int, victim line, now int64) {
 	dirty := victim.flags&flagDirty != 0
 	// Inclusive hierarchy: remove all private copies; a modified private
 	// copy makes the line dirty regardless of the LLC's own dirty bit.
-	for mask, c := victim.sharers, 0; mask != 0; mask, c = mask>>1, c+1 {
-		if mask&1 == 0 {
-			continue
-		}
-		cc := &s.cores[c]
-		if was, ok := cc.l1d.invalidate(victimAddr); ok && was.flags&flagDirty != 0 {
-			dirty = true
-		}
-		if was, ok := cc.l2.invalidate(victimAddr); ok && was.flags&flagDirty != 0 {
-			dirty = true
-		}
-		cc.l1i.invalidate(victimAddr)
+	if s.invalidateSharers(victim.sharers, -1, victimAddr) {
+		dirty = true
 	}
 	if victim.owner >= 0 {
 		dirty = true
@@ -179,9 +252,29 @@ func (s *System) evictLLCVictim(core int, victim line, now int64) {
 		ctr.PrefEvicted++
 	}
 	if dirty {
-		s.mem.Write(victimAddr, now)
+		s.memWrite(victimAddr, now)
 		ctr.OffchipWriteback += LineBytes
 	}
+}
+
+// invalidateSharers removes lineAddr from the private caches of every
+// core named in mask except the given one (-1 = none), reporting
+// whether any removed copy was dirty.
+func (s *System) invalidateSharers(mask uint32, except int, lineAddr uint64) (dirty bool) {
+	for c := 0; mask != 0; mask, c = mask>>1, c+1 {
+		if mask&1 == 0 || c == except {
+			continue
+		}
+		cc := &s.cores[c]
+		if was, ok := cc.l1d.invalidate(lineAddr); ok && was.flags&flagDirty != 0 {
+			dirty = true
+		}
+		if was, ok := cc.l2.invalidate(lineAddr); ok && was.flags&flagDirty != 0 {
+			dirty = true
+		}
+		cc.l1i.invalidate(lineAddr)
+	}
+	return dirty
 }
 
 // fillL2 inserts into core's L2; a dirty victim is absorbed by the
@@ -196,9 +289,16 @@ func (s *System) fillL2(core int, lineAddr uint64, fl lineFlags, now int64) {
 			l.flags |= flagDirty
 			if l.owner == int16(core) {
 				l.owner = -1
+				// The L1-D (non-inclusive with the L2) may still hold
+				// the line; demote its write permission along with the
+				// lapsed ownership, or a later store would skip the
+				// directory claim the owner-less line now requires.
+				if dl := cc.l1d.probe(victimAddr, false); dl != nil {
+					dl.flags &^= flagExcl | flagDirty
+				}
 			}
 		} else {
-			s.mem.Write(victimAddr, now)
+			s.memWrite(victimAddr, now)
 			s.ctrs[core].OffchipWriteback += LineBytes
 		}
 	}
@@ -221,33 +321,97 @@ func (s *System) fillL1I(core int, lineAddr uint64) {
 // --- coherence helpers --------------------------------------------------
 
 // claimOwnership makes core the exclusive modified owner of lineAddr in
-// its socket's directory, invalidating all other private copies. It
-// returns true when another core previously held the line Modified
-// (a read-write sharing event).
+// its socket's directory, invalidating all other private copies — on
+// its own socket and, because writing requires chip-wide exclusivity,
+// any copy held by another socket's LLC (and that socket's private
+// caches). It returns true when another core previously held the line
+// Modified (a read-write sharing event).
 func (s *System) claimOwnership(core int, lineAddr uint64, llcLine *line) (stolenFromOther bool) {
 	prevOwner := llcLine.owner
-	for mask, c := llcLine.sharers, 0; mask != 0; mask, c = mask>>1, c+1 {
-		if mask&1 == 0 || c == core {
+	if s.invalidateSharers(llcLine.sharers, core, lineAddr) {
+		llcLine.flags |= flagDirty
+	}
+	home := s.socketOf(core)
+	for so := range s.llcs {
+		if so == home {
 			continue
 		}
-		cc := &s.cores[c]
-		if was, ok := cc.l1d.invalidate(lineAddr); ok && was.flags&flagDirty != 0 {
-			llcLine.flags |= flagDirty
+		rl := s.llcs[so].probe(lineAddr, false)
+		if rl == nil {
+			continue
 		}
-		if was, ok := cc.l2.invalidate(lineAddr); ok && was.flags&flagDirty != 0 {
-			llcLine.flags |= flagDirty
+		victim := *rl
+		s.llcs[so].invalidate(lineAddr)
+		s.invalidateSharers(victim.sharers, -1, lineAddr)
+		// A dirty remote copy (owned, or downgraded-but-dirty) means a
+		// remote core modified the line most recently: count it like
+		// the write-miss snoop path does, so the sharing metric is
+		// independent of whether the writer's private copy survived.
+		if victim.owner >= 0 || victim.flags&flagDirty != 0 {
+			stolenFromOther = true
 		}
-		cc.l1i.invalidate(lineAddr)
 	}
 	llcLine.sharers = 1 << uint(core)
 	llcLine.owner = int16(core)
 	llcLine.flags |= flagDirty
-	return prevOwner >= 0 && prevOwner != int16(core)
+	return stolenFromOther || (prevOwner >= 0 && prevOwner != int16(core))
+}
+
+// upgradeOwnership services a store that hit a private cache without
+// write permission: the RFO (read-for-ownership) consults the LLC
+// directory, so it counts as an LLC data reference like on real
+// hardware, and claiming the line from a modified holder is a sharing
+// event — the same accounting as a demand miss that finds remotely-
+// modified data, so the Figure-6 metric does not depend on whether the
+// writer's private copy survived.
+func (s *System) upgradeOwnership(core int, lineAddr uint64, kernel bool) {
+	llcLine := s.llcOf(core).probe(lineAddr, false)
+	if llcLine == nil {
+		return
+	}
+	ctr := s.ctrs[core]
+	ctr.LLCAccess++
+	ctr.LLCDataRefs++
+	ctr.LLCHit++
+	if kernel {
+		ctr.LLCDataRefsOS++
+		ctr.LLCHitOS++
+	} else {
+		ctr.LLCHitUser++
+	}
+	if s.claimOwnership(core, lineAddr, llcLine) {
+		s.countSharedRW(core, lineAddr, kernel)
+	}
+}
+
+// countSharedRW records one read-write sharing event by core (the
+// Figure-6 probe), attributed to the requesting mode.
+func (s *System) countSharedRW(core int, lineAddr uint64, kernel bool) {
+	if kernel {
+		s.ctrs[core].SharedRWHitOS++
+	} else {
+		s.ctrs[core].SharedRWHitUser++
+	}
+	if DebugSharing != nil {
+		DebugSharing[lineAddr]++
+	}
 }
 
 // downgradeOwner services a read to a line another core holds Modified:
-// the owner's copy is demoted and the LLC absorbs the dirty data.
-func (s *System) downgradeOwner(llcLine *line) {
+// the owner's private copies lose write permission (their dirty data is
+// absorbed by the LLC line) and the directory entry drops the owner, so
+// the owner's next store must re-claim exclusivity through the
+// directory — the event the read-write sharing counters observe.
+func (s *System) downgradeOwner(lineAddr uint64, llcLine *line) {
+	if o := llcLine.owner; o >= 0 {
+		oc := &s.cores[o]
+		if l := oc.l1d.probe(lineAddr, false); l != nil {
+			l.flags &^= flagExcl | flagDirty
+		}
+		if l := oc.l2.probe(lineAddr, false); l != nil {
+			l.flags &^= flagExcl | flagDirty
+		}
+	}
 	llcLine.owner = -1
 	llcLine.flags |= flagDirty
 }
@@ -266,6 +430,9 @@ type FetchResult struct {
 
 // FetchInstr fetches the line containing pc for core at time now.
 func (s *System) FetchInstr(core int, pc uint64, now int64, kernel bool) FetchResult {
+	if s.checkEvery > 0 {
+		defer s.maybeCheck()
+	}
 	lineAddr := pc >> LineShift
 	cc := &s.cores[core]
 	ctr := s.ctrs[core]
@@ -323,6 +490,9 @@ type DataResult struct {
 
 // AccessData performs a load or store by core at time now.
 func (s *System) AccessData(core int, addr uint64, write, kernel bool, now int64) DataResult {
+	if s.checkEvery > 0 {
+		defer s.maybeCheck()
+	}
 	lineAddr := addr >> LineShift
 	cc := &s.cores[core]
 	ctr := s.ctrs[core]
@@ -335,9 +505,7 @@ func (s *System) AccessData(core int, addr uint64, write, kernel bool, now int64
 		}
 		if write {
 			if l.flags&flagExcl == 0 {
-				if llcLine := s.llcOf(core).probe(lineAddr, false); llcLine != nil {
-					s.claimOwnership(core, lineAddr, llcLine)
-				}
+				s.upgradeOwnership(core, lineAddr, kernel)
 				l.flags |= flagExcl
 			}
 			l.flags |= flagDirty
@@ -369,9 +537,7 @@ func (s *System) AccessData(core int, addr uint64, write, kernel bool, now int64
 		}
 		fl := lineFlags(0)
 		if write {
-			if llcLine := s.llcOf(core).probe(lineAddr, false); llcLine != nil {
-				s.claimOwnership(core, lineAddr, llcLine)
-			}
+			s.upgradeOwnership(core, lineAddr, kernel)
 			fl = flagDirty | flagExcl
 		}
 		s.fillL1D(core, lineAddr, fl, now)
@@ -423,23 +589,17 @@ func (s *System) accessShared(core int, lineAddr uint64, write, kernel, instr bo
 			l.flags &^= flagPrefetched
 		}
 		sharedRW := false
-		if !instr {
-			if write {
-				sharedRW = s.claimOwnership(core, lineAddr, l)
-			} else if l.owner >= 0 && l.owner != int16(core) {
-				sharedRW = true
-				s.downgradeOwner(l)
-			}
+		if write && !instr {
+			sharedRW = s.claimOwnership(core, lineAddr, l)
+		} else if l.owner >= 0 && l.owner != int16(core) {
+			// Any read — including an instruction fetch — of a line
+			// another core holds Modified downgrades the owner; only
+			// data references count as sharing events (Figure 6).
+			sharedRW = !instr
+			s.downgradeOwner(lineAddr, l)
 		}
 		if sharedRW {
-			if kernel {
-				ctr.SharedRWHitOS++
-			} else {
-				ctr.SharedRWHitUser++
-			}
-			if DebugSharing != nil {
-				DebugSharing[lineAddr]++
-			}
+			s.countSharedRW(core, lineAddr, kernel)
 		}
 		l.sharers |= 1 << uint(core)
 		if write && !instr {
@@ -454,7 +614,11 @@ func (s *System) accessShared(core int, lineAddr uint64, write, kernel, instr bo
 		ctr.LLCMissUser++
 	}
 
-	// Snoop the other sockets.
+	// Snoop the other sockets. The sharing test must consider every
+	// remote holder — a dirty copy can coexist with clean replicas on
+	// other sockets. A write gains chip-wide exclusivity by invalidating
+	// every remote copy; a read downgrades the Modified owner, if any.
+	remote, modified := false, false
 	for so := range s.llcs {
 		if so == s.socketOf(core) {
 			continue
@@ -463,34 +627,30 @@ func (s *System) accessShared(core int, lineAddr uint64, write, kernel, instr bo
 		if rl == nil {
 			continue
 		}
-		ctr.RemoteSocketHit++
-		modified := rl.owner >= 0 || rl.flags&flagDirty != 0
-		if modified && !instr {
-			if kernel {
-				ctr.SharedRWHitOS++
-			} else {
-				ctr.SharedRWHitUser++
-			}
+		remote = true
+		if rl.owner >= 0 || rl.flags&flagDirty != 0 {
+			modified = true
 		}
 		if write {
 			// Invalidate the remote copy and all its private copies.
 			victim := *rl
 			s.llcs[so].invalidate(lineAddr)
-			for mask, c := victim.sharers, 0; mask != 0; mask, c = mask>>1, c+1 {
-				if mask&1 == 0 {
-					continue
-				}
-				rc := &s.cores[c]
-				rc.l1d.invalidate(lineAddr)
-				rc.l2.invalidate(lineAddr)
-				rc.l1i.invalidate(lineAddr)
-			}
+			s.invalidateSharers(victim.sharers, -1, lineAddr)
 		} else if rl.owner >= 0 {
-			s.downgradeOwner(rl)
+			s.downgradeOwner(lineAddr, rl)
+		}
+	}
+	if remote {
+		ctr.RemoteSocketHit++
+		if modified && !instr {
+			s.countSharedRW(core, lineAddr, kernel)
 		}
 		fl := lineFlags(0)
 		if write {
 			fl = flagDirty
+		}
+		if instr {
+			fl |= flagInstr
 		}
 		nl := s.fillLLC(core, lineAddr, fl, now)
 		nl.sharers = 1 << uint(core)
@@ -501,7 +661,7 @@ func (s *System) accessShared(core int, lineAddr uint64, write, kernel, instr bo
 	}
 
 	// Off-chip.
-	done := s.mem.Read(lineAddr, now)
+	done := s.memRead(core, lineAddr, now)
 	if kernel {
 		ctr.OffchipReadOS += LineBytes
 	} else {
@@ -526,6 +686,46 @@ func (s *System) accessShared(core int, lineAddr uint64, write, kernel, instr bo
 	return done
 }
 
+// prefetchLLC obtains lineAddr in core's socket LLC for a prefetch: a
+// local hit, a remote-socket copy, or an off-chip fetch, registering
+// core as a sharer. Like the demand path, a prefetch is a read: a
+// Modified owner (local or remote) is downgraded, or the owner's
+// retained write permission and the prefetched copy would go
+// incoherent — exactly the divergence that left the original
+// hand-copied snoop loops dormant-and-broken.
+func (s *System) prefetchLLC(core int, lineAddr uint64, fl lineFlags, kernel bool, now int64) {
+	llc := s.llcOf(core)
+	if l := llc.probe(lineAddr, true); l != nil {
+		if l.owner >= 0 && l.owner != int16(core) {
+			s.downgradeOwner(lineAddr, l)
+		}
+		l.sharers |= 1 << uint(core)
+		return
+	}
+	for so := range s.llcs {
+		if so == s.socketOf(core) {
+			continue
+		}
+		if rl := s.llcs[so].probe(lineAddr, false); rl != nil {
+			if rl.owner >= 0 {
+				s.downgradeOwner(lineAddr, rl)
+			}
+			s.ctrs[core].RemoteSocketHit++
+			nl := s.fillLLC(core, lineAddr, fl, now)
+			nl.sharers |= 1 << uint(core)
+			return
+		}
+	}
+	s.memRead(core, lineAddr, now)
+	if kernel {
+		s.ctrs[core].OffchipReadOS += LineBytes
+	} else {
+		s.ctrs[core].OffchipReadUser += LineBytes
+	}
+	nl := s.fillLLC(core, lineAddr, fl, now)
+	nl.sharers |= 1 << uint(core)
+}
+
 // prefetchInstr fetches an instruction line into core's L1-I without
 // blocking the demand fetch.
 func (s *System) prefetchInstr(core int, lineAddr uint64, kernel bool, now int64) {
@@ -533,27 +733,12 @@ func (s *System) prefetchInstr(core int, lineAddr uint64, kernel bool, now int64
 	if cc.l1i.Contains(lineAddr) {
 		return
 	}
-	ctr := s.ctrs[core]
-	ctr.PrefIssued++
+	s.ctrs[core].PrefIssued++
 	if cc.l2.Contains(lineAddr) {
 		s.fillL1I(core, lineAddr)
 		return
 	}
-	llc := s.llcOf(core)
-	if l := llc.probe(lineAddr, true); l != nil {
-		l.sharers |= 1 << uint(core)
-		s.fillL2(core, lineAddr, flagInstr, now)
-		s.fillL1I(core, lineAddr)
-		return
-	}
-	s.mem.Read(lineAddr, now)
-	if kernel {
-		ctr.OffchipReadOS += LineBytes
-	} else {
-		ctr.OffchipReadUser += LineBytes
-	}
-	nl := s.fillLLC(core, lineAddr, flagInstr, now)
-	nl.sharers |= 1 << uint(core)
+	s.prefetchLLC(core, lineAddr, flagInstr, kernel, now)
 	s.fillL2(core, lineAddr, flagInstr, now)
 	s.fillL1I(core, lineAddr)
 }
@@ -561,41 +746,11 @@ func (s *System) prefetchInstr(core int, lineAddr uint64, kernel bool, now int64
 // prefetchL2 fetches lineAddr into core's L2 (and LLC) without blocking
 // the demand stream.
 func (s *System) prefetchL2(core int, lineAddr uint64, kernel bool, now int64) {
-	cc := &s.cores[core]
-	if cc.l2.Contains(lineAddr) {
+	if s.cores[core].l2.Contains(lineAddr) {
 		return
 	}
-	ctr := s.ctrs[core]
-	ctr.PrefIssued++
-	llc := s.llcOf(core)
-	if l := llc.probe(lineAddr, true); l != nil {
-		l.sharers |= 1 << uint(core)
-		s.fillL2(core, lineAddr, flagPrefetched, now)
-		return
-	}
-	// Prefetch misses LLC: fetch from memory (or remote socket).
-	for so := range s.llcs {
-		if so == s.socketOf(core) {
-			continue
-		}
-		if rl := s.llcs[so].probe(lineAddr, false); rl != nil {
-			if rl.owner >= 0 {
-				s.downgradeOwner(rl)
-			}
-			nl := s.fillLLC(core, lineAddr, flagPrefetched, now)
-			nl.sharers |= 1 << uint(core)
-			s.fillL2(core, lineAddr, flagPrefetched, now)
-			return
-		}
-	}
-	s.mem.Read(lineAddr, now)
-	if kernel {
-		ctr.OffchipReadOS += LineBytes
-	} else {
-		ctr.OffchipReadUser += LineBytes
-	}
-	nl := s.fillLLC(core, lineAddr, flagPrefetched, now)
-	nl.sharers |= 1 << uint(core)
+	s.ctrs[core].PrefIssued++
+	s.prefetchLLC(core, lineAddr, flagPrefetched, kernel, now)
 	s.fillL2(core, lineAddr, flagPrefetched, now)
 }
 
@@ -610,20 +765,7 @@ func (s *System) prefetchL1(core int, lineAddr uint64, kernel bool, now int64) {
 		s.fillL1D(core, lineAddr, flagPrefetched, now)
 		return
 	}
-	llc := s.llcOf(core)
-	if l := llc.probe(lineAddr, true); l != nil {
-		l.sharers |= 1 << uint(core)
-		s.fillL1D(core, lineAddr, flagPrefetched, now)
-		return
-	}
-	s.mem.Read(lineAddr, now)
-	if kernel {
-		s.ctrs[core].OffchipReadOS += LineBytes
-	} else {
-		s.ctrs[core].OffchipReadUser += LineBytes
-	}
-	nl := s.fillLLC(core, lineAddr, flagPrefetched, now)
-	nl.sharers |= 1 << uint(core)
+	s.prefetchLLC(core, lineAddr, flagPrefetched, kernel, now)
 	s.fillL1D(core, lineAddr, flagPrefetched, now)
 }
 

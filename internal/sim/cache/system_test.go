@@ -104,7 +104,11 @@ func TestWriteInvalidatesOtherCore(t *testing.T) {
 }
 
 func TestRemoteSocketHit(t *testing.T) {
-	s := NewSystem(testSystemConfig(2, 1))
+	cfg := testSystemConfig(2, 1)
+	// Prefetchers off: the test pins the demand-path accounting (the
+	// prefetch paths count their own remote hits, tested separately).
+	cfg.AdjacentLine, cfg.HWPrefetcher, cfg.DCUStreamer = false, false, false
+	s := NewSystem(cfg)
 	addr := uint64(0x4000_0000)
 	s.AccessData(0, addr, true, false, 0) // socket 0 writes
 	// Core 1 lives on socket 1: its LLC misses, snoop finds socket 0.
@@ -211,6 +215,177 @@ func TestPrefetchersCanBeDisabled(t *testing.T) {
 	}
 }
 
+// noPrefetchConfig returns a multi-socket test config with every
+// prefetcher disabled, so tests observe demand traffic alone.
+func noPrefetchConfig(sockets, cores int) SystemConfig {
+	cfg := testSystemConfig(sockets, cores)
+	cfg.AdjacentLine, cfg.HWPrefetcher, cfg.DCUStreamer = false, false, false
+	cfg.IPrefetch = IPrefNone
+	return cfg
+}
+
+// Remote instruction fetches must keep the instruction flag on the
+// local LLC fill, exactly like the off-chip path.
+func TestRemoteInstrFetchKeepsInstrFlag(t *testing.T) {
+	s := NewSystem(noPrefetchConfig(2, 1))
+	s.EnableInvariantChecks(1)
+	pc := uint64(0x40_0000)
+	s.FetchInstr(0, pc, 0, false) // socket 0 caches the line
+	fr := s.FetchInstr(1, pc, 100, false)
+	if !fr.OffCore {
+		t.Fatalf("remote fetch should miss the core: %+v", fr)
+	}
+	if got := s.Ctr(1).RemoteSocketHit; got != 1 {
+		t.Fatalf("RemoteSocketHit = %d, want 1", got)
+	}
+	l := s.llcs[1].probe(pc>>LineShift, false)
+	if l == nil {
+		t.Fatal("remote instruction fetch did not fill the local LLC")
+	}
+	if l.flags&flagInstr == 0 {
+		t.Fatal("remote instruction fill dropped flagInstr")
+	}
+}
+
+// A read serviced by a remote Modified line must demote the owner's
+// private copies: the owner's next store has to re-claim exclusivity
+// through the directory, invalidating the reader and producing the
+// read-write sharing events the Figure-6 methodology counts.
+func TestRemoteDowngradeDemotesOwnerPrivates(t *testing.T) {
+	s := NewSystem(noPrefetchConfig(2, 1))
+	s.EnableInvariantChecks(1)
+	addr := uint64(0x2000_0000)
+	line := addr >> LineShift
+	s.AccessData(0, addr, true, false, 0)    // core 0 (socket 0) owns Modified
+	s.AccessData(1, addr, false, false, 100) // core 1 (socket 1) reads: downgrade
+	if l := s.cores[0].l1d.probe(line, false); l == nil || l.flags&flagExcl != 0 {
+		t.Fatal("owner's L1-D copy kept write permission across a remote read")
+	}
+	// The owner writes again: without its stale flagExcl it must go
+	// through the directory and invalidate the remote reader.
+	s.AccessData(0, addr, true, false, 200)
+	if s.llcs[1].Contains(line) {
+		t.Fatal("re-claimed write left a stale copy in the remote LLC")
+	}
+	r := s.AccessData(1, addr, false, false, 300)
+	if !r.OffCore {
+		t.Fatal("reader's stale private copy survived the owner's write")
+	}
+	if got := s.Ctr(1).SharedRWHitUser; got != 2 {
+		t.Fatalf("SharedRWHitUser = %d, want 2 (one per read of a remotely-modified line)", got)
+	}
+}
+
+// Instruction prefetches must snoop the other sockets: fetching the
+// line straight from memory would leave an incoherent duplicate of a
+// remotely-modified line.
+func TestPrefetchInstrSnoopsRemoteSocket(t *testing.T) {
+	s := NewSystem(noPrefetchConfig(2, 1))
+	s.EnableInvariantChecks(1)
+	addr := uint64(0x2000_0000)
+	line := addr >> LineShift
+	s.AccessData(0, addr, true, false, 0) // socket 0 holds the line Modified
+	s.prefetchInstr(1, line, false, 100)
+	if got := s.Ctr(1).RemoteSocketHit; got != 1 {
+		t.Fatalf("instruction prefetch RemoteSocketHit = %d, want 1", got)
+	}
+	if rl := s.llcs[0].probe(line, false); rl == nil || rl.owner >= 0 {
+		t.Fatal("remote owner not downgraded by instruction prefetch")
+	}
+	if !s.llcs[1].Contains(line) {
+		t.Fatal("instruction prefetch did not fill the local LLC")
+	}
+	if s.DRAM().Reads()+s.DRAMOf(1).Reads() != 1 {
+		t.Fatal("prefetch serviced remotely must not also read DRAM")
+	}
+}
+
+// L2 prefetches serviced by the other socket count as remote hits,
+// like every other remotely-serviced request.
+func TestPrefetchL2RemoteHitAccounting(t *testing.T) {
+	s := NewSystem(noPrefetchConfig(2, 1))
+	s.EnableInvariantChecks(1)
+	addr := uint64(0x2000_0000)
+	line := addr >> LineShift
+	s.AccessData(0, addr, false, false, 0)
+	s.prefetchL2(1, line, false, 100)
+	if got := s.Ctr(1).RemoteSocketHit; got != 1 {
+		t.Fatalf("L2 prefetch RemoteSocketHit = %d, want 1", got)
+	}
+	if !s.cores[1].l2.Contains(line) {
+		t.Fatal("prefetch did not fill the requesting L2")
+	}
+}
+
+// A write that hits the local LLC must still invalidate copies the
+// other socket picked up earlier: exclusivity is chip-wide, not
+// socket-wide.
+func TestCrossSocketWriteHitInvalidatesRemoteCopies(t *testing.T) {
+	s := NewSystem(noPrefetchConfig(2, 2))
+	s.EnableInvariantChecks(1)
+	addr := uint64(0x3000_0000)
+	line := addr >> LineShift
+	s.AccessData(0, addr, false, false, 0)   // socket 0 reads
+	s.AccessData(2, addr, false, false, 100) // socket 1 reads (both LLCs share)
+	if !s.llcs[0].Contains(line) || !s.llcs[1].Contains(line) {
+		t.Fatal("read sharing should replicate the line in both LLCs")
+	}
+	s.AccessData(0, addr, true, false, 200) // local LLC hit, write
+	if s.llcs[1].Contains(line) {
+		t.Fatal("write hit in the local LLC left a stale remote copy")
+	}
+	r := s.AccessData(2, addr, false, false, 300)
+	if !r.OffCore {
+		t.Fatal("remote reader still had a private copy after the write")
+	}
+	if got := s.Ctr(2).SharedRWHitUser; got != 1 {
+		t.Fatalf("re-read of the written line: SharedRWHitUser = %d, want 1", got)
+	}
+}
+
+// Cross-socket write misses invalidate the remote holder entirely.
+func TestCrossSocketWriteMissInvalidates(t *testing.T) {
+	s := NewSystem(noPrefetchConfig(2, 1))
+	s.EnableInvariantChecks(1)
+	addr := uint64(0x3000_0000)
+	line := addr >> LineShift
+	s.AccessData(0, addr, true, false, 0)  // socket 0 Modified
+	s.AccessData(1, addr, true, false, 50) // socket 1 write miss: steal
+	if s.llcs[0].Contains(line) {
+		t.Fatal("remote write did not invalidate the previous socket's copy")
+	}
+	if l := s.llcs[1].probe(line, false); l == nil || l.owner != 1 {
+		t.Fatal("stealing write did not take ownership in its own LLC")
+	}
+	if got := s.Ctr(1).SharedRWHitUser; got != 1 {
+		t.Fatalf("write steal of a modified line: SharedRWHitUser = %d, want 1", got)
+	}
+}
+
+// Each socket owns a memory controller; lines interleave across them
+// by page, and cross-socket fetches pay the QPI latency on top of the
+// DRAM access.
+func TestPerSocketDRAMRouting(t *testing.T) {
+	cfg := noPrefetchConfig(2, 1)
+	cfg.RemoteMemCycles = 70
+	s := NewSystem(cfg)
+	// One full page per socket: page 0 is socket 0's, page 1 socket 1's.
+	page0 := uint64(0)
+	page1 := uint64(4096)
+	rl := s.AccessData(0, page0, false, false, 0)
+	rr := s.AccessData(0, page1, false, false, 0)
+	if s.DRAMOf(0).Reads() != 1 || s.DRAMOf(1).Reads() != 1 {
+		t.Fatalf("reads routed %d/%d, want 1/1", s.DRAMOf(0).Reads(), s.DRAMOf(1).Reads())
+	}
+	if got := rr.Done - rl.Done; got != 70 {
+		t.Fatalf("remote DRAM penalty = %d cycles, want 70", got)
+	}
+	c := s.Ctr(0)
+	if c.DRAMReadLocal != 1 || c.DRAMReadRemote != 1 {
+		t.Fatalf("local/remote read counts = %d/%d, want 1/1", c.DRAMReadLocal, c.DRAMReadRemote)
+	}
+}
+
 // Property: the directory never reports an owner that is not also a
 // sharer, and repeated random traffic never corrupts hit/miss accounting
 // (hits+misses == accesses).
@@ -218,6 +393,7 @@ func TestQuickSystemAccounting(t *testing.T) {
 	check := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		s := NewSystem(testSystemConfig(2, 2))
+		s.EnableInvariantChecks(3)
 		for i := 0; i < 3000; i++ {
 			core := rng.Intn(4)
 			addr := uint64(0x1000_0000) + uint64(rng.Intn(4096))*LineBytes
@@ -321,5 +497,98 @@ func TestQuickOwnerIsSharer(t *testing.T) {
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// On a 3+ socket machine a dirty copy can coexist with clean replicas
+// on other sockets; the sharing test must consider every remote holder,
+// not just the first socket probed.
+func TestThreeSocketSharingSeesDirtyReplica(t *testing.T) {
+	s := NewSystem(noPrefetchConfig(3, 1))
+	s.EnableInvariantChecks(1)
+	addr := uint64(0x2000_0000)
+	// Socket 1 writes, then reads back so the dirty (unowned after the
+	// downgrade below) copy lives in LLC 1; socket 0 picks up a clean
+	// replica.
+	s.AccessData(1, addr, true, false, 0)
+	s.AccessData(0, addr, false, false, 100) // downgrade: LLC1 dirty, LLC0 clean
+	if got := s.Ctr(0).SharedRWHitUser; got != 1 {
+		t.Fatalf("first remote read: SharedRWHitUser = %d, want 1", got)
+	}
+	// Socket 2 reads: the snoop finds the clean replica in LLC 0 first,
+	// but the line is still dirty in LLC 1 — a sharing event.
+	s.AccessData(2, addr, false, false, 200)
+	if got := s.Ctr(2).SharedRWHitUser; got != 1 {
+		t.Fatalf("read with clean+dirty replicas: SharedRWHitUser = %d, want 1", got)
+	}
+	if got := s.Ctr(2).RemoteSocketHit; got != 1 {
+		t.Fatalf("RemoteSocketHit = %d, want 1 per access", got)
+	}
+}
+
+// A prefetch that hits the local LLC on a line another core holds
+// Modified is a read like any other: it must downgrade the owner, or
+// the owner's retained write permission and the prefetched copy go
+// incoherent and the subsequent sharing events are lost.
+func TestPrefetchLocalHitDowngradesOwner(t *testing.T) {
+	s := NewSystem(noPrefetchConfig(1, 2))
+	s.EnableInvariantChecks(1)
+	addr := uint64(0x2000_0000)
+	line := addr >> LineShift
+	s.AccessData(0, addr, true, false, 0) // core 0 owns Modified
+	s.prefetchL2(1, line, false, 100)     // core 1 prefetches the line
+	if l := s.llcs[0].probe(line, false); l == nil || l.owner >= 0 {
+		t.Fatal("prefetch hit did not downgrade the Modified owner")
+	}
+	// The owner's next store goes through the directory and invalidates
+	// the prefetched copy; core 1's re-read records the sharing event.
+	s.AccessData(0, addr, true, false, 200)
+	if s.cores[1].l2.Contains(line) {
+		t.Fatal("owner's re-claimed write left a stale prefetched copy")
+	}
+	s.AccessData(1, addr, false, false, 300)
+	if got := s.Ctr(1).SharedRWHitUser; got != 1 {
+		t.Fatalf("SharedRWHitUser = %d, want 1", got)
+	}
+}
+
+// An instruction fetch of a line another core holds Modified downgrades
+// the owner (coherence) without counting a data-sharing event.
+func TestInstrFetchDowngradesOwnerWithoutSharingCount(t *testing.T) {
+	s := NewSystem(noPrefetchConfig(1, 2))
+	s.EnableInvariantChecks(1)
+	addr := uint64(0x2000_0000)
+	line := addr >> LineShift
+	s.AccessData(0, addr, true, false, 0) // core 0 owns Modified
+	s.FetchInstr(1, addr, 100, false)     // core 1 fetches it as code
+	if l := s.llcs[0].probe(line, false); l == nil || l.owner >= 0 {
+		t.Fatal("instruction fetch did not downgrade the Modified owner")
+	}
+	if got := s.Ctr(1).SharedRWHitUser + s.Ctr(1).SharedRWHitOS; got != 0 {
+		t.Fatalf("instruction fetch counted as data sharing: %d", got)
+	}
+}
+
+// Write-after-remote-read ping-pong must count sharing on the write-hit
+// path (claimOwnership) like it does on the write-miss snoop path: the
+// dirty remote copy identifies the line as remotely modified even after
+// the owner was downgraded.
+func TestWriteHitAfterRemoteReadCountsSharing(t *testing.T) {
+	s := NewSystem(noPrefetchConfig(2, 1))
+	s.EnableInvariantChecks(1)
+	addr := uint64(0x2000_0000)
+	s.AccessData(0, addr, true, false, 0)    // core 0 (socket 0) owns Modified
+	s.AccessData(1, addr, false, false, 100) // core 1 reads: downgrade, LLC0 dirty
+	if got := s.Ctr(1).SharedRWHitUser; got != 1 {
+		t.Fatalf("remote read: SharedRWHitUser = %d, want 1", got)
+	}
+	// Core 1 writes its (clean, still-private) copy: the L1-D hit claims
+	// ownership and invalidates socket 0's dirty copy — a sharing event.
+	s.AccessData(1, addr, true, false, 200)
+	if got := s.Ctr(1).SharedRWHitUser; got != 2 {
+		t.Fatalf("write hit on remotely-modified line: SharedRWHitUser = %d, want 2", got)
+	}
+	if s.llcs[0].Contains(addr >> LineShift) {
+		t.Fatal("write hit left the stale dirty copy in the remote LLC")
 	}
 }

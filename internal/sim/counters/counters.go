@@ -98,11 +98,17 @@ type Counters struct {
 	PrefEvicted  uint64
 	PrefDemanded uint64
 
-	// DRAM channel busy cycles (summed over channels) and cycle span,
-	// maintained by the memory controller for bandwidth utilisation.
+	// DRAM channel busy cycles (summed over channels and sockets) and
+	// cycle span, maintained by the memory controllers for bandwidth
+	// utilisation. DRAMChannels counts channels across all sockets.
 	DRAMBusyCycles  uint64
 	DRAMTotalCycles uint64
 	DRAMChannels    uint64
+
+	// NUMA: DRAM line reads serviced by the requesting core's own
+	// socket's memory controller vs the other socket's (QPI hop).
+	DRAMReadLocal  uint64
+	DRAMReadRemote uint64
 }
 
 // Add accumulates other into c field-by-field.
@@ -158,6 +164,8 @@ func (c *Counters) Add(o *Counters) {
 	c.DRAMBusyCycles += o.DRAMBusyCycles
 	c.DRAMTotalCycles += o.DRAMTotalCycles
 	c.DRAMChannels += o.DRAMChannels
+	c.DRAMReadLocal += o.DRAMReadLocal
+	c.DRAMReadRemote += o.DRAMReadRemote
 }
 
 // Sub returns c - o field-by-field (the measurement-window delta).
@@ -215,6 +223,8 @@ func (c Counters) Sub(o *Counters) Counters {
 	d.DRAMTotalCycles -= o.DRAMTotalCycles
 	// DRAMChannels is a configuration constant, not a delta.
 	d.DRAMChannels = c.DRAMChannels
+	d.DRAMReadLocal -= o.DRAMReadLocal
+	d.DRAMReadRemote -= o.DRAMReadRemote
 	return d
 }
 
@@ -301,6 +311,12 @@ func (c *Counters) DRAMUtilization() float64 {
 		return 0
 	}
 	return float64(c.DRAMBusyCycles) / (float64(c.DRAMTotalCycles) * float64(c.DRAMChannels))
+}
+
+// RemoteDRAMFrac returns the share of DRAM line reads serviced by a
+// remote socket's memory controller (NUMA traffic crossing QPI).
+func (c *Counters) RemoteDRAMFrac() float64 {
+	return ratio(c.DRAMReadRemote, c.DRAMReadLocal+c.DRAMReadRemote)
 }
 
 // OffchipBytes returns total off-chip traffic in bytes.

@@ -78,8 +78,11 @@ func (c *Controller) transfer(line uint64, now int64, read bool) int64 {
 	end := start + int64(c.cfg.TransferCycles)
 	c.freeAt[ch] = end
 	c.busy[ch] += int64(c.cfg.TransferCycles)
-	if now > c.lastCycle {
-		c.lastCycle = now
+	// The observation span extends to the transfer's completion, not
+	// its arrival: ending the span at the last request's start would
+	// overstate busy/span utilization (beyond 1.0 under backlog).
+	if end > c.lastCycle {
+		c.lastCycle = end
 	}
 	if read {
 		c.reads++
@@ -99,7 +102,8 @@ func (c *Controller) BusyCycles() uint64 {
 }
 
 // Span returns the number of cycles the controller has been observed
-// over (the time of the latest request minus the observation start).
+// over (the completion time of the latest transfer minus the
+// observation start).
 func (c *Controller) Span() uint64 {
 	if c.lastCycle <= c.start {
 		return 0

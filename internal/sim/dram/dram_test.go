@@ -95,3 +95,22 @@ func TestResetQueuesClearsBacklog(t *testing.T) {
 		t.Fatalf("read after reset completes at %d, want idle latency 150", done)
 	}
 }
+
+// The observation span must extend to the completion of the last
+// transfer, not its arrival: a span that ends at the last request's
+// start overstates busy/span utilization (beyond 1.0 under backlog).
+func TestSpanCoversTransferCompletion(t *testing.T) {
+	c := New(Config{Channels: 1, AccessCycles: 100, TransferCycles: 10})
+	c.SetSpanStart(0)
+	// Ten back-to-back requests all arriving at cycle 0: the channel
+	// drains them serially until cycle 100.
+	for i := uint64(0); i < 10; i++ {
+		c.Read(i, 0)
+	}
+	if got := c.Span(); got != 100 {
+		t.Fatalf("Span = %d, want 100 (last transfer completion)", got)
+	}
+	if got, span := c.BusyCycles(), c.Span(); got > span {
+		t.Fatalf("busy %d exceeds span %d: utilization above 1.0", got, span)
+	}
+}

@@ -198,6 +198,13 @@ func Run(cfg RunConfig, threads []Thread) (*Result, error) {
 	if cfg.Mem.TotalCores() == 0 {
 		cfg.Mem = cache.DefaultSystemConfig()
 	}
+	// The LLC directory tracks private copies in a 32-bit global-core
+	// bitmask; a larger machine would silently drop sharers and corrupt
+	// coherence.
+	if cfg.Mem.TotalCores() > 32 {
+		return nil, fmt.Errorf("engine: %d cores exceed the 32-core directory limit (%d sockets x %d)",
+			cfg.Mem.TotalCores(), cfg.Mem.Sockets, cfg.Mem.CoresPerSocket)
+	}
 	mem := cache.NewSystem(cfg.Mem)
 
 	perCore := map[int][]int{} // core id -> indices into threads
@@ -273,9 +280,9 @@ func Run(cfg RunConfig, threads []Thread) (*Result, error) {
 	for _, co := range cores {
 		snapshots[co.id] = *mem.Ctr(co.id)
 	}
-	mem.DRAM().SetSpanStart(warmClock)
-	mem.DRAM().ResetQueues(warmClock)
-	dramBusyStart := mem.DRAM().BusyCycles()
+	mem.DRAMSetSpanStart(warmClock)
+	mem.DRAMResetQueues(warmClock)
+	dramBusyStart := mem.DRAMBusyCycles()
 
 	now := warmClock
 	start := now
@@ -315,9 +322,9 @@ func Run(cfg RunConfig, threads []Thread) (*Result, error) {
 		}
 	}
 	// DRAM busy/span are chip-wide quantities, not per-core sums.
-	res.Total.DRAMBusyCycles = mem.DRAM().BusyCycles() - dramBusyStart
+	res.Total.DRAMBusyCycles = mem.DRAMBusyCycles() - dramBusyStart
 	res.Total.DRAMTotalCycles = uint64(now - start)
-	res.Total.DRAMChannels = uint64(mem.DRAM().Config().Channels)
+	res.Total.DRAMChannels = uint64(mem.DRAMTotalChannels())
 	return res, nil
 }
 

@@ -297,3 +297,22 @@ func TestMSHRLimitBoundsMLP(t *testing.T) {
 		t.Fatalf("MLP %.2f exceeds the 4-entry super queue", mlp)
 	}
 }
+
+// The LLC directory's sharers bitmask is 32 bits of global core ids;
+// larger machines must be rejected, not silently corrupted.
+func TestRunRejectsMoreThan32Cores(t *testing.T) {
+	cfg := RunConfig{Mem: cache.DefaultSystemConfig()}
+	cfg.Mem.Sockets, cfg.Mem.CoresPerSocket = 6, 6
+	gen := trace.Start(trace.EmitterConfig{Seed: 1, BlockLen: 4}, func(e *trace.Emitter) {
+		fn := trace.NewCodeLayout(0x40_0000, 0x1_0000).Func("f", 64)
+		e.Call(fn)
+		for {
+			e.ALUIndep(4)
+		}
+	})
+	defer gen.Close()
+	_, err := Run(cfg, []Thread{{Gen: gen, Core: 0, Measured: true}})
+	if err == nil {
+		t.Fatal("36-core machine must be rejected (32-bit sharers mask)")
+	}
+}

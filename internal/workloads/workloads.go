@@ -63,8 +63,8 @@ type Workload interface {
 	Start(n int, seed int64) []*trace.ChanGen
 }
 
-// SpendOS reports the conventional emitter configuration used by the
-// scale-out workloads: moderately predictable branches.
+// defaultEmitter returns the conventional emitter configuration used by
+// the scale-out workloads: moderately predictable branches.
 func defaultEmitter(seed int64) trace.EmitterConfig {
 	return trace.EmitterConfig{Seed: seed, BlockLen: 6, BranchEntropy: 0.04}
 }
@@ -165,8 +165,13 @@ type Zipf struct {
 }
 
 // NewZipf returns a Zipfian sampler over [0, n) with exponent theta
-// (YCSB uses 0.99).
+// (YCSB uses 0.99). A degenerate key space (n < 2) yields a sampler
+// that always draws key 0: rand.NewZipf's imax parameter (n-1) would
+// underflow to a ~2^64 key range for n == 0.
 func NewZipf(rng *rand.Rand, theta float64, n uint64) *Zipf {
+	if n < 2 {
+		return &Zipf{}
+	}
 	if theta <= 1.0 {
 		// math/rand requires s > 1; YCSB's 0.99 skew corresponds closely
 		// to s just above 1 for the ranges we use.
@@ -176,7 +181,12 @@ func NewZipf(rng *rand.Rand, theta float64, n uint64) *Zipf {
 }
 
 // Next draws the next key.
-func (z *Zipf) Next() uint64 { return z.z.Uint64() }
+func (z *Zipf) Next() uint64 {
+	if z.z == nil {
+		return 0
+	}
+	return z.z.Uint64()
+}
 
 // StackOf returns a thread's stack base region for hot context data.
 func StackOf(tid int) uint64 { return addrspace.StackFor(tid) - 4096 }

@@ -145,6 +145,20 @@ func TestQuickZipfRange(t *testing.T) {
 	}
 }
 
+// A degenerate key space must not underflow rand.NewZipf's imax: every
+// draw stays at key 0.
+func TestZipfDegenerateKeySpace(t *testing.T) {
+	for _, n := range []uint64{0, 1} {
+		rng := rand.New(rand.NewSource(1))
+		z := NewZipf(rng, 0.99, n)
+		for i := 0; i < 100; i++ {
+			if got := z.Next(); got != 0 {
+				t.Fatalf("NewZipf(n=%d).Next() = %d, want 0", n, got)
+			}
+		}
+	}
+}
+
 func TestStacksDistinctPerThread(t *testing.T) {
 	a, b := StackOf(0), StackOf(1)
 	if a == b {
