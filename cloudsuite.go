@@ -41,6 +41,18 @@
 //
 //	r := cloudsuite.NewRunner(4) // 4 workers
 //	rows, err := r.Figure1(cloudsuite.ScaleOutEntries(), cloudsuite.DefaultOptions())
+//
+// Setting Options.Sampling replaces the contiguous measured window with
+// SMARTS-style interval sampling: short timed windows spread across the
+// same effective horizon, each preceded by functional warming, at ~1/5
+// of the measured work. Sampled measurements carry per-interval counter
+// vectors and report 95% confidence intervals:
+//
+//	o := cloudsuite.DefaultOptions()
+//	o.Sampling = cloudsuite.DefaultSampling()
+//	m, _ := cloudsuite.MeasureBench(b, o)
+//	ci := m.CI(func(m *cloudsuite.Measurement) float64 { return m.IPC() })
+//	fmt.Printf("IPC %.2f ± %.2f\n", ci.Mean, ci.Half)
 package cloudsuite
 
 import (
@@ -56,6 +68,14 @@ type (
 	Options = core.Options
 	// Measurement is the counter outcome of one run.
 	Measurement = core.Measurement
+	// Sampling configures SMARTS-style interval sampling for a
+	// measurement (see Options.Sampling).
+	Sampling = core.Sampling
+	// IntervalSample is one measurement interval of a sampled run.
+	IntervalSample = core.IntervalSample
+	// Estimate is a sampled metric statistic: mean, standard error, and
+	// 95% confidence interval (Measurement.CI, EntryResult.CI).
+	Estimate = core.Estimate
 	// Bench is one benchmark of the suite.
 	Bench = core.Bench
 	// Entry is one bar position of the paper's figures.
@@ -131,6 +151,9 @@ var (
 	// DefaultOptions is the paper's baseline setup (4 cores, warm-up,
 	// measured window).
 	DefaultOptions = core.DefaultOptions
+	// DefaultSampling is an enabled interval-sampling spec with default
+	// schedule (8 intervals spread over the MeasureInsts horizon).
+	DefaultSampling = core.DefaultSampling
 	// Measure runs one workload instance.
 	Measure = core.Measure
 	// MeasureBench creates and measures a fresh instance of a benchmark.

@@ -7,13 +7,19 @@
 //	cloudsuite -list
 //	cloudsuite -bench "Web Search" [-cores 4] [-sockets 2] [-smt] [-split]
 //	           [-pollute 6] [-warmup 400000] [-measure 120000] [-seed 1]
+//	           [-sample] [-intervals 8] [-relerr 0.05]
 //	cloudsuite -bench "Web Search,Data Serving" [-parallel 4] [-progress]
 //	cloudsuite -bench all
 //
 // -bench accepts a single name, a comma-separated list, or "all"; with
 // more than one benchmark the measurements are fanned out across a
 // worker pool (-parallel, 0 = GOMAXPROCS) and reported in the order
-// given. Results are bit-reproducible per seed, so the output is
+// given. -sample replaces the contiguous measured window with
+// SMARTS-style interval sampling (-intervals windows spread over the
+// -measure horizon, each preceded by functional warming) and reports
+// 95% confidence intervals; -relerr additionally stops sampling early
+// once the CI of IPC is within the requested relative error. Results
+// are bit-reproducible per seed — sampled or not — so the output is
 // identical for every -parallel value.
 package main
 
@@ -37,9 +43,12 @@ func main() {
 		pollute  = flag.Int("pollute", 0, "LLC MB occupied by polluter threads")
 		warmup   = flag.Int64("warmup", 400_000, "per-thread warm-up instructions")
 		measure  = flag.Int64("measure", 120_000, "per-thread measured instructions")
-		seed     = flag.Int64("seed", 1, "random seed")
-		parallel = flag.Int("parallel", 0, "measurement worker-pool width (0 = GOMAXPROCS)")
-		progress = flag.Bool("progress", false, "report measurement progress on stderr")
+		seed      = flag.Int64("seed", 1, "random seed")
+		parallel  = flag.Int("parallel", 0, "measurement worker-pool width (0 = GOMAXPROCS)")
+		progress  = flag.Bool("progress", false, "report measurement progress on stderr")
+		sampleF   = flag.Bool("sample", false, "SMARTS-style interval sampling instead of one contiguous window")
+		intervals = flag.Int("intervals", 0, "measurement intervals (0 = default 8; implies -sample)")
+		relerr    = flag.Float64("relerr", 0, "adaptive sampling: stop once the 95% CI of IPC is within this relative error (implies -sample)")
 	)
 	flag.Parse()
 
@@ -59,6 +68,13 @@ func main() {
 		Cores: *cores, Sockets: *sockets, SMT: *smt, SplitSockets: *split,
 		PolluteBytes: uint64(*pollute) << 20,
 		WarmupInsts:  *warmup, MeasureInsts: *measure, Seed: *seed,
+	}
+	if *sampleF || *intervals > 0 || *relerr > 0 {
+		o.Sampling = core.DefaultSampling()
+		if *intervals > 0 {
+			o.Sampling.Intervals = *intervals
+		}
+		o.Sampling.TargetRelErr = *relerr
 	}
 
 	runner := core.NewRunner(*parallel)
@@ -138,4 +154,14 @@ func printMeasurement(m *core.Measurement) {
 	fmt.Printf("prefetch         %d issued, %d useful, %d evicted unused\n",
 		c.PrefIssued, c.PrefUseful, c.PrefEvicted)
 	fmt.Printf("L2 demand        %d accesses, %d hits\n", c.L2Access, c.L2Hit)
+	if m.Sampled() {
+		ipc := m.CI(func(m *core.Measurement) float64 { return m.IPC() })
+		mlp := m.CI(func(m *core.Measurement) float64 { return m.MLP() })
+		mem := m.CI(func(m *core.Measurement) float64 { return m.MemCycleFrac() })
+		bw := m.CI(func(m *core.Measurement) float64 { return m.DRAMUtilization() })
+		fmt.Printf("sampling         %d intervals, %d measured insts\n", len(m.Samples), c.Commits())
+		fmt.Printf("95%% CI           IPC %.3f±%.3f (rel ±%.1f%%), MLP %.2f±%.2f, mem cycles %.1f%%±%.1f%%, BW util %.1f%%±%.1f%%\n",
+			ipc.Mean, ipc.Half, 100*ipc.RelErr(), mlp.Mean, mlp.Half,
+			100*mem.Mean, 100*mem.Half, 100*bw.Mean, 100*bw.Half)
+	}
 }

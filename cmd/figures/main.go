@@ -1,24 +1,35 @@
 // Command figures regenerates every table and figure of the paper's
 // evaluation section on the simulated machine and prints them as text
-// tables (the EXPERIMENTS.md data source).
+// tables (the EXPERIMENTS.md data source) or as JSON.
 //
 // Usage:
 //
 //	figures [-only 1,3,7] [-fig scaling] [-quick] [-seed 1] [-parallel 4] [-progress]
+//	        [-sample] [-intervals 8] [-relerr 0.05] [-json]
 //
 // -only selects numbered figures; -fig selects named experiments beyond
 // the paper's figures (currently "scaling", the NUMA scale-up study
 // sweeping 1-12 cores over 1-2 sockets). The two compose: selecting
 // anything runs only the selection.
 // -quick shrinks the per-run instruction budgets ~4x for a fast pass.
+// -sample switches every measurement from one contiguous window to
+// SMARTS-style interval sampling: N short timed intervals spread over
+// the same effective horizon, each preceded by functional warming, at
+// roughly a fifth of the measured work. -intervals overrides N (default
+// 8), -relerr enables adaptive stopping on the 95% CI of IPC; either
+// implies -sample. Sampled tables carry ± columns (95% CI half-widths).
+// -json emits the selected figures as machine-readable rows plus the
+// runner's work statistics instead of text tables.
 // All selected figures share one measurement Runner: -parallel sets its
 // worker-pool width (0 = GOMAXPROCS) and configurations common to
 // several figures are measured once and served from the memoization
-// cache afterwards. Measurements are bit-reproducible per seed, so the
-// tables are byte-identical for every -parallel value.
+// cache afterwards. Measurements are bit-reproducible per seed —
+// sampled or not — so the output is byte-identical for every -parallel
+// value.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,15 +39,40 @@ import (
 	"cloudsuite/internal/report"
 )
 
+// jsonDoc is the -json output: one field per selected artefact, the
+// options behind them, and the runner's work accounting.
+type jsonDoc struct {
+	Seed         int64                 `json:"seed"`
+	Quick        bool                  `json:"quick,omitempty"`
+	Sampling     *core.Sampling        `json:"sampling,omitempty"`
+	Table1       []core.TableRow       `json:"table1,omitempty"`
+	Figure1      []core.BreakdownRow   `json:"figure1,omitempty"`
+	Figure2      []core.InstrMissRow   `json:"figure2,omitempty"`
+	Figure3      []core.IPCMLPRow      `json:"figure3,omitempty"`
+	Figure4      []core.LLCSeries      `json:"figure4,omitempty"`
+	Figure5      []core.PrefetchRow    `json:"figure5,omitempty"`
+	Figure6      []core.SharingRow     `json:"figure6,omitempty"`
+	Figure7      []core.BandwidthRow   `json:"figure7,omitempty"`
+	Implications []core.ImplicationRow `json:"implications,omitempty"`
+	IPrefetch    []core.IPrefRow       `json:"iprefetch,omitempty"`
+	Scaling      []core.ScaleUpRow     `json:"scaling,omitempty"`
+	Claims       []core.Claim          `json:"claims,omitempty"`
+	Runner       core.RunnerStats      `json:"runner"`
+}
+
 func main() {
 	var (
-		only     = flag.String("only", "", "comma-separated figure numbers (default: all, 0 = Table 1, i = implications)")
-		fig      = flag.String("fig", "", `comma-separated named experiments ("scaling" = NUMA scale-up study)`)
-		quick    = flag.Bool("quick", false, "reduced instruction budgets")
-		check    = flag.Bool("check", false, "validate the paper's claims and exit")
-		seed     = flag.Int64("seed", 1, "random seed")
-		parallel = flag.Int("parallel", 0, "measurement worker-pool width (0 = GOMAXPROCS)")
-		progress = flag.Bool("progress", false, "report measurement progress on stderr")
+		only      = flag.String("only", "", "comma-separated figure numbers (default: all, 0 = Table 1, i = implications)")
+		fig       = flag.String("fig", "", `comma-separated named experiments ("scaling" = NUMA scale-up study)`)
+		quick     = flag.Bool("quick", false, "reduced instruction budgets")
+		check     = flag.Bool("check", false, "validate the paper's claims and exit")
+		seed      = flag.Int64("seed", 1, "random seed")
+		parallel  = flag.Int("parallel", 0, "measurement worker-pool width (0 = GOMAXPROCS)")
+		progress  = flag.Bool("progress", false, "report measurement progress on stderr")
+		sampleF   = flag.Bool("sample", false, "SMARTS-style interval sampling instead of one contiguous window")
+		intervals = flag.Int("intervals", 0, "measurement intervals per configuration (0 = default 8; implies -sample)")
+		relerr    = flag.Float64("relerr", 0, "adaptive sampling: stop early once the 95% CI of IPC is within this relative error (implies -sample)")
+		jsonOut   = flag.Bool("json", false, "machine-readable JSON output (per-figure rows + runner stats)")
 	)
 	flag.Parse()
 
@@ -44,6 +80,14 @@ func main() {
 	o.Seed = *seed
 	if *quick {
 		o.WarmupInsts, o.MeasureInsts = 150_000, 40_000
+	}
+	sampled := *sampleF || *intervals > 0 || *relerr > 0
+	if sampled {
+		o.Sampling = core.DefaultSampling()
+		if *intervals > 0 {
+			o.Sampling.Intervals = *intervals
+		}
+		o.Sampling.TargetRelErr = *relerr
 	}
 
 	runner := core.NewRunner(*parallel)
@@ -72,48 +116,134 @@ func main() {
 	// default when nothing is selected.
 	sel := func(n string) bool { return len(want) == 0 || want[n] }
 
+	doc := &jsonDoc{Seed: *seed, Quick: *quick}
+	if sampled {
+		// Record the resolved schedule, not the flag spelling.
+		s := o.Sampling.Normalize(o.MeasureInsts)
+		doc.Sampling = &s
+	}
+	render := !*jsonOut
+
 	if *check {
-		runCheck(runner, o)
+		ok := runCheck(runner, o, doc, render)
+		if *jsonOut {
+			doc.Runner = runner.Stats()
+			emitJSON(doc)
+		}
+		if !ok {
+			os.Exit(1)
+		}
 		return
 	}
 
 	entries := core.FigureEntries()
 
 	if sel("0") {
-		table1()
+		doc.Table1 = core.Table1(core.XeonX5670())
+		if render {
+			renderTable1(doc.Table1)
+		}
 	}
 	if sel("1") {
-		figure1(runner, entries, o)
+		rows, err := runner.Figure1(entries, o)
+		if err != nil {
+			fail(err)
+		}
+		doc.Figure1 = rows
+		if render {
+			renderFigure1(rows, sampled)
+		}
 	}
 	if sel("2") {
-		figure2(runner, entries, o)
+		rows, err := runner.Figure2(entries, o)
+		if err != nil {
+			fail(err)
+		}
+		doc.Figure2 = rows
+		if render {
+			renderFigure2(rows)
+		}
 	}
 	if sel("3") {
-		figure3(runner, entries, o)
+		rows, err := runner.Figure3(entries, o)
+		if err != nil {
+			fail(err)
+		}
+		doc.Figure3 = rows
+		if render {
+			renderFigure3(rows, sampled)
+		}
 	}
 	if sel("4") {
-		figure4(runner, o)
+		series, err := runner.Figure4(core.Figure4Groups(), []int{4, 5, 6, 7, 8, 9, 10, 11}, o)
+		if err != nil {
+			fail(err)
+		}
+		doc.Figure4 = series
+		if render {
+			renderFigure4(series)
+		}
 	}
 	if sel("5") {
-		figure5(runner, entries, o)
+		rows, err := runner.Figure5(entries, o)
+		if err != nil {
+			fail(err)
+		}
+		doc.Figure5 = rows
+		if render {
+			renderFigure5(rows)
+		}
 	}
 	if sel("6") {
-		figure6(runner, entries, o)
+		rows, err := runner.Figure6(entries, o)
+		if err != nil {
+			fail(err)
+		}
+		doc.Figure6 = rows
+		if render {
+			renderFigure6(rows)
+		}
 	}
 	if sel("7") {
-		figure7(runner, entries, o)
+		rows, err := runner.Figure7(entries, o)
+		if err != nil {
+			fail(err)
+		}
+		doc.Figure7 = rows
+		if render {
+			renderFigure7(rows, sampled)
+		}
 	}
 	if want["i"] {
-		implications(runner, o)
+		implications(runner, o, doc, render)
 	}
 	if want["scaling"] {
-		figureScaling(runner, o)
+		rows, err := runner.ScaleUpStudy(core.ScaleOutEntries(), core.ScaleUpPoints(), o)
+		if err != nil {
+			fail(err)
+		}
+		doc.Scaling = rows
+		if render {
+			renderScaling(rows)
+		}
 	}
 
+	if *jsonOut {
+		doc.Runner = runner.Stats()
+		emitJSON(doc)
+	}
 	if *progress {
 		s := runner.Stats()
-		fmt.Fprintf(os.Stderr, "runner: %d measurements requested, %d simulated, %d served from cache (%d workers)\n",
-			s.Requests, s.Runs, s.CacheHits, runner.Workers())
+		fmt.Fprintf(os.Stderr, "runner: %d measurements requested, %d simulated, %d served from cache, %d insts measured (%d workers)\n",
+			s.Requests, s.Runs, s.CacheHits, s.MeasuredInsts, runner.Workers())
+	}
+}
+
+func emitJSON(doc *jsonDoc) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fail(err)
 	}
 }
 
@@ -129,32 +259,41 @@ func progressLine(ev core.ProgressEvent) {
 	}
 }
 
-func runCheck(runner *core.Runner, o core.Options) {
+func runCheck(runner *core.Runner, o core.Options, doc *jsonDoc, render bool) bool {
 	claims, err := runner.Validate(o)
 	if err != nil {
 		fail(err)
 	}
-	t := report.Table{Title: "Reproduction check", Header: []string{"claim", "verdict", "measured"}}
-	ok := true
-	for _, c := range claims {
-		verdict := "HOLDS"
-		if !c.Holds {
-			verdict = "FAILS"
-			ok = false
+	doc.Claims = claims
+	ok := core.AllHold(claims)
+	if render {
+		t := report.Table{Title: "Reproduction check", Header: []string{"claim", "verdict", "measured"}}
+		for _, c := range claims {
+			verdict := "HOLDS"
+			if !c.Holds {
+				verdict = "FAILS"
+			}
+			t.Add(c.ID+" "+c.Statement, verdict, c.Detail)
 		}
-		t.Add(c.ID+" "+c.Statement, verdict, c.Detail)
+		t.Render(os.Stdout)
 	}
-	t.Render(os.Stdout)
-	if !ok {
-		os.Exit(1)
-	}
+	return ok
 }
 
-func implications(runner *core.Runner, o core.Options) {
+func implications(runner *core.Runner, o core.Options, doc *jsonDoc, render bool) {
 	so := core.ScaleOutEntries()
 	rows, err := runner.Implications(so, o)
 	if err != nil {
 		fail(err)
+	}
+	doc.Implications = rows
+	irows, err := runner.InstructionPrefetchStudy(so, o)
+	if err != nil {
+		fail(err)
+	}
+	doc.IPrefetch = irows
+	if !render {
+		return
 	}
 	t := report.Table{
 		Title:  "Implications: conventional vs scale-out-optimized CMP",
@@ -169,10 +308,6 @@ func implications(runner *core.Runner, o core.Options) {
 	}
 	t.Render(os.Stdout)
 
-	irows, err := runner.InstructionPrefetchStudy(so, o)
-	if err != nil {
-		fail(err)
-	}
 	it := report.Table{
 		Title:  "Implications: instruction-prefetcher study (L1-I MPKI / IPC)",
 		Header: []string{"Workload", "none", "next-line", "stream", "IPC none", "IPC next", "IPC stream"},
@@ -184,11 +319,7 @@ func implications(runner *core.Runner, o core.Options) {
 	it.Render(os.Stdout)
 }
 
-func figureScaling(runner *core.Runner, o core.Options) {
-	rows, err := runner.ScaleUpStudy(core.ScaleOutEntries(), core.ScaleUpPoints(), o)
-	if err != nil {
-		fail(err)
-	}
+func renderScaling(rows []core.ScaleUpRow) {
 	t := report.Table{
 		Title:  "Scale-up study: scale-out workloads vs cores and sockets",
 		Header: []string{"Workload", "SxC", "chip IPC", "speedup", "MLP", "BW util", "rem-hit/KI", "rem-DRAM"},
@@ -209,35 +340,34 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-func table1() {
+func renderTable1(rows []core.TableRow) {
 	t := report.Table{Title: "Table 1. Architectural parameters", Header: []string{"Parameter", "Value"}}
-	for _, r := range core.Table1(core.XeonX5670()) {
+	for _, r := range rows {
 		t.Add(r.Parameter, r.Value)
 	}
 	t.Render(os.Stdout)
 }
 
-func figure1(runner *core.Runner, entries []core.Entry, o core.Options) {
-	rows, err := runner.Figure1(entries, o)
-	if err != nil {
-		fail(err)
-	}
+func renderFigure1(rows []core.BreakdownRow, sampled bool) {
 	t := report.Table{
 		Title:  "Figure 1. Execution-time breakdown and memory cycles",
 		Header: []string{"Workload", "Commit(App)", "Commit(OS)", "Stall(App)", "Stall(OS)", "Memory"},
 	}
+	if sampled {
+		t.Header = append(t.Header, "Mem ±95")
+	}
 	for _, r := range rows {
-		t.Add(r.Label, report.Pct(r.CommittingUser), report.Pct(r.CommittingOS),
-			report.Pct(r.StalledUser), report.Pct(r.StalledOS), report.Pct(r.Memory))
+		cells := []string{r.Label, report.Pct(r.CommittingUser), report.Pct(r.CommittingOS),
+			report.Pct(r.StalledUser), report.Pct(r.StalledOS), report.Pct(r.Memory)}
+		if sampled {
+			cells = append(cells, report.PMPct(r.MemoryCI.Half))
+		}
+		t.Add(cells...)
 	}
 	t.Render(os.Stdout)
 }
 
-func figure2(runner *core.Runner, entries []core.Entry, o core.Options) {
-	rows, err := runner.Figure2(entries, o)
-	if err != nil {
-		fail(err)
-	}
+func renderFigure2(rows []core.InstrMissRow) {
 	t := report.Table{
 		Title:  "Figure 2. L1-I and L2 instruction misses per k-instruction",
 		Header: []string{"Workload", "L1-I(App)", "L1-I(OS)", "L2(App)", "L2(OS)"},
@@ -252,14 +382,13 @@ func figure2(runner *core.Runner, entries []core.Entry, o core.Options) {
 	t.Render(os.Stdout)
 }
 
-func figure3(runner *core.Runner, entries []core.Entry, o core.Options) {
-	rows, err := runner.Figure3(entries, o)
-	if err != nil {
-		fail(err)
-	}
+func renderFigure3(rows []core.IPCMLPRow, sampled bool) {
 	t := report.Table{
 		Title:  "Figure 3. Application IPC (max 4) and MLP, baseline vs SMT",
 		Header: []string{"Workload", "IPC", "IPC(SMT)", "IPC rng", "MLP", "MLP(SMT)", "MLP rng", "SMT gain"},
+	}
+	if sampled {
+		t.Header = append(t.Header, "IPC ±95", "MLP ±95")
 	}
 	for _, r := range rows {
 		rngIPC, rngMLP := "-", "-"
@@ -267,18 +396,18 @@ func figure3(runner *core.Runner, entries []core.Entry, o core.Options) {
 			rngIPC = fmt.Sprintf("%.2f-%.2f", r.IPCLo, r.IPCHi)
 			rngMLP = fmt.Sprintf("%.2f-%.2f", r.MLPLo, r.MLPHi)
 		}
-		t.Add(r.Label, report.F2(r.IPCBase), report.F2(r.IPCSMT), rngIPC,
+		cells := []string{r.Label, report.F2(r.IPCBase), report.F2(r.IPCSMT), rngIPC,
 			report.F2(r.MLPBase), report.F2(r.MLPSMT), rngMLP,
-			fmt.Sprintf("%.0f%%", 100*(r.SMTSpeedup-1)))
+			fmt.Sprintf("%.0f%%", 100*(r.SMTSpeedup-1))}
+		if sampled {
+			cells = append(cells, report.PM(r.IPCCI.Half), report.PM(r.MLPCI.Half))
+		}
+		t.Add(cells...)
 	}
 	t.Render(os.Stdout)
 }
 
-func figure4(runner *core.Runner, o core.Options) {
-	series, err := runner.Figure4(core.Figure4Groups(), []int{4, 5, 6, 7, 8, 9, 10, 11}, o)
-	if err != nil {
-		fail(err)
-	}
+func renderFigure4(series []core.LLCSeries) {
 	t := report.Table{
 		Title:  "Figure 4. User-IPC vs LLC capacity (normalized to 12MB baseline)",
 		Header: []string{"Series", "4MB", "5MB", "6MB", "7MB", "8MB", "9MB", "10MB", "11MB"},
@@ -293,11 +422,7 @@ func figure4(runner *core.Runner, o core.Options) {
 	t.Render(os.Stdout)
 }
 
-func figure5(runner *core.Runner, entries []core.Entry, o core.Options) {
-	rows, err := runner.Figure5(entries, o)
-	if err != nil {
-		fail(err)
-	}
+func renderFigure5(rows []core.PrefetchRow) {
 	t := report.Table{
 		Title:  "Figure 5. L2 hit ratio with prefetchers enabled/disabled",
 		Header: []string{"Workload", "Baseline", "Adj-line off", "HW pref off"},
@@ -308,11 +433,7 @@ func figure5(runner *core.Runner, entries []core.Entry, o core.Options) {
 	t.Render(os.Stdout)
 }
 
-func figure6(runner *core.Runner, entries []core.Entry, o core.Options) {
-	rows, err := runner.Figure6(entries, o)
-	if err != nil {
-		fail(err)
-	}
+func renderFigure6(rows []core.SharingRow) {
 	t := report.Table{
 		Title:  "Figure 6. Read-write shared LLC hits (normalized to LLC data refs)",
 		Header: []string{"Workload", "Application", "OS"},
@@ -323,17 +444,20 @@ func figure6(runner *core.Runner, entries []core.Entry, o core.Options) {
 	t.Render(os.Stdout)
 }
 
-func figure7(runner *core.Runner, entries []core.Entry, o core.Options) {
-	rows, err := runner.Figure7(entries, o)
-	if err != nil {
-		fail(err)
-	}
+func renderFigure7(rows []core.BandwidthRow, sampled bool) {
 	t := report.Table{
 		Title:  "Figure 7. Off-chip memory bandwidth utilization",
 		Header: []string{"Workload", "Application", "OS", "Total"},
 	}
+	if sampled {
+		t.Header = append(t.Header, "Tot ±95")
+	}
 	for _, r := range rows {
-		t.Add(r.Label, report.Pct(r.App), report.Pct(r.OS), report.Pct(r.App+r.OS))
+		cells := []string{r.Label, report.Pct(r.App), report.Pct(r.OS), report.Pct(r.App + r.OS)}
+		if sampled {
+			cells = append(cells, report.PMPct(r.TotalCI.Half))
+		}
+		t.Add(cells...)
 	}
 	t.Render(os.Stdout)
 }

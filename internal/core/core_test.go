@@ -218,7 +218,7 @@ func TestEntryStat(t *testing.T) {
 		{BenchName: "a"}, {BenchName: "b"}, {BenchName: "c"},
 	}}
 	vals := map[string]float64{"a": 1, "b": 3, "c": 2}
-	mean, lo, hi := r.Stat(func(m *Measurement) float64 { return vals[m.BenchName] })
+	mean, lo, hi := r.MeanMinMax(func(m *Measurement) float64 { return vals[m.BenchName] })
 	if mean != 2 || lo != 1 || hi != 3 {
 		t.Fatalf("stat = %f/%f/%f", mean, lo, hi)
 	}

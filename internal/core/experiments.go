@@ -30,6 +30,9 @@ type BreakdownRow struct {
 	StalledOS      float64
 	// Memory is plotted side-by-side (it overlaps commit cycles).
 	Memory float64
+	// MemoryCI is the 95% confidence interval of the Memory bar (zero
+	// width when sampling is off).
+	MemoryCI Estimate
 }
 
 // Figure1 measures the execution-time breakdown of the given entries
@@ -47,22 +50,23 @@ func (r *Runner) Figure1(entries []Entry, o Options) ([]BreakdownRow, error) {
 	rows := make([]BreakdownRow, 0, len(entries))
 	for i, e := range entries {
 		res := results[i]
-		cu, _, _ := res.Stat(func(m *Measurement) float64 {
+		cu, _, _ := res.MeanMinMax(func(m *Measurement) float64 {
 			return float64(m.CommitCyclesUser) / float64(m.Cycles)
 		})
-		co, _, _ := res.Stat(func(m *Measurement) float64 {
+		co, _, _ := res.MeanMinMax(func(m *Measurement) float64 {
 			return float64(m.CommitCyclesOS) / float64(m.Cycles)
 		})
-		su, _, _ := res.Stat(func(m *Measurement) float64 {
+		su, _, _ := res.MeanMinMax(func(m *Measurement) float64 {
 			return float64(m.StallCyclesUser) / float64(m.Cycles)
 		})
-		so, _, _ := res.Stat(func(m *Measurement) float64 {
+		so, _, _ := res.MeanMinMax(func(m *Measurement) float64 {
 			return float64(m.StallCyclesOS) / float64(m.Cycles)
 		})
-		mem, _, _ := res.Stat(func(m *Measurement) float64 { return m.MemCycleFrac() })
+		mem, _, _ := res.MeanMinMax(func(m *Measurement) float64 { return m.MemCycleFrac() })
 		rows = append(rows, BreakdownRow{
 			Label: e.Label, CommittingUser: cu, CommittingOS: co,
 			StalledUser: su, StalledOS: so, Memory: mem,
+			MemoryCI: res.CI(func(m *Measurement) float64 { return m.MemCycleFrac() }),
 		})
 	}
 	return rows, nil
@@ -103,10 +107,10 @@ func (r *Runner) Figure2(entries []Entry, o Options) ([]InstrMissRow, error) {
 	rows := make([]InstrMissRow, 0, len(entries))
 	for i, e := range entries {
 		res := results[i]
-		l1a, _, _ := res.Stat(func(m *Measurement) float64 { return m.L1IMPKIUser() })
-		l1o, _, _ := res.Stat(func(m *Measurement) float64 { return m.L1IMPKIOS() })
-		l2a, _, _ := res.Stat(func(m *Measurement) float64 { return m.L2IMPKIUser() })
-		l2o, _, _ := res.Stat(func(m *Measurement) float64 { return m.L2IMPKIOS() })
+		l1a, _, _ := res.MeanMinMax(func(m *Measurement) float64 { return m.L1IMPKIUser() })
+		l1o, _, _ := res.MeanMinMax(func(m *Measurement) float64 { return m.L1IMPKIOS() })
+		l2a, _, _ := res.MeanMinMax(func(m *Measurement) float64 { return m.L2IMPKIUser() })
+		l2o, _, _ := res.MeanMinMax(func(m *Measurement) float64 { return m.L2IMPKIOS() })
 		rows = append(rows, InstrMissRow{
 			Label: e.Label, L1IApp: l1a, L1IOS: l1o, L2IApp: l2a, L2IOS: l2o,
 			ShowOS: e.ShowOS,
@@ -127,6 +131,10 @@ type IPCMLPRow struct {
 	MLPGainFromSMT         float64
 	MembersCounted         int
 	BaseCyclesPerInstr4Wid float64
+	// IPCCI and MLPCI are the baseline configuration's 95% confidence
+	// intervals (zero width when sampling is off). The Lo/Hi pairs above
+	// are member min/max spreads, not statistical intervals.
+	IPCCI, MLPCI Estimate
 }
 
 // Figure3 measures IPC and MLP for baseline and SMT configurations
@@ -149,15 +157,17 @@ func (r *Runner) Figure3(entries []Entry, o Options) ([]IPCMLPRow, error) {
 	rows := make([]IPCMLPRow, 0, len(entries))
 	for i, e := range entries {
 		base, smt := results[i], results[len(entries)+i]
-		ipc, ipcLo, ipcHi := base.Stat(func(m *Measurement) float64 { return m.IPC() })
-		mlp, mlpLo, mlpHi := base.Stat(func(m *Measurement) float64 { return m.MLP() })
-		ipcS, _, _ := smt.Stat(func(m *Measurement) float64 { return m.IPC() })
-		mlpS, _, _ := smt.Stat(func(m *Measurement) float64 { return m.MLP() })
+		ipc, ipcLo, ipcHi := base.MeanMinMax(func(m *Measurement) float64 { return m.IPC() })
+		mlp, mlpLo, mlpHi := base.MeanMinMax(func(m *Measurement) float64 { return m.MLP() })
+		ipcS, _, _ := smt.MeanMinMax(func(m *Measurement) float64 { return m.IPC() })
+		mlpS, _, _ := smt.MeanMinMax(func(m *Measurement) float64 { return m.MLP() })
 		row := IPCMLPRow{
 			Label:   e.Label,
 			IPCBase: ipc, IPCSMT: ipcS, IPCLo: ipcLo, IPCHi: ipcHi,
 			MLPBase: mlp, MLPSMT: mlpS, MLPLo: mlpLo, MLPHi: mlpHi,
 			MembersCounted: len(e.Members),
+			IPCCI:          base.CI(func(m *Measurement) float64 { return m.IPC() }),
+			MLPCI:          base.CI(func(m *Measurement) float64 { return m.MLP() }),
 		}
 		if ipc > 0 {
 			row.SMTSpeedup = ipcS / ipc
@@ -256,7 +266,7 @@ func averageUserIPC(results []*EntryResult) (float64, error) {
 	}
 	var sum float64
 	for _, res := range results {
-		v, _, _ := res.Stat(func(m *Measurement) float64 { return m.UserIPC() })
+		v, _, _ := res.MeanMinMax(func(m *Measurement) float64 { return m.UserIPC() })
 		sum += v
 	}
 	return sum / float64(len(results)), nil
@@ -324,7 +334,7 @@ func (r *Runner) Figure5(entries []Entry, o Options) ([]PrefetchRow, error) {
 	for i, e := range entries {
 		var vals [3]float64
 		for c := range configs {
-			vals[c], _, _ = results[c*len(entries)+i].Stat(func(m *Measurement) float64 { return m.L2HitRatio() })
+			vals[c], _, _ = results[c*len(entries)+i].MeanMinMax(func(m *Measurement) float64 { return m.L2HitRatio() })
 		}
 		rows = append(rows, PrefetchRow{
 			Label: e.Label, Baseline: vals[0],
@@ -359,8 +369,8 @@ func (r *Runner) Figure6(entries []Entry, o Options) ([]SharingRow, error) {
 	rows := make([]SharingRow, 0, len(entries))
 	for i, e := range entries {
 		res := results[i]
-		app, _, _ := res.Stat(func(m *Measurement) float64 { return m.SharedRWFracUser() })
-		osv, _, _ := res.Stat(func(m *Measurement) float64 { return m.SharedRWFracOS() })
+		app, _, _ := res.MeanMinMax(func(m *Measurement) float64 { return m.SharedRWFracUser() })
+		osv, _, _ := res.MeanMinMax(func(m *Measurement) float64 { return m.SharedRWFracOS() })
 		rows = append(rows, SharingRow{Label: e.Label, App: app, OS: osv})
 	}
 	return rows, nil
@@ -372,6 +382,9 @@ type BandwidthRow struct {
 	Label string
 	App   float64
 	OS    float64
+	// TotalCI is the 95% confidence interval of the total utilisation
+	// (zero width when sampling is off).
+	TotalCI Estimate
 }
 
 // Figure7 measures off-chip bandwidth utilisation serially; see
@@ -391,21 +404,24 @@ func (r *Runner) Figure7(entries []Entry, o Options) ([]BandwidthRow, error) {
 		res := results[i]
 		// Split each member's utilisation by the mode of its off-chip
 		// read traffic (writebacks charged proportionally), then average.
-		app, _, _ := res.Stat(func(m *Measurement) float64 {
+		app, _, _ := res.MeanMinMax(func(m *Measurement) float64 {
 			reads := m.OffchipReadUser + m.OffchipReadOS
 			if reads == 0 {
 				return 0
 			}
 			return m.DRAMUtilization() * float64(m.OffchipReadUser) / float64(reads)
 		})
-		osu, _, _ := res.Stat(func(m *Measurement) float64 {
+		osu, _, _ := res.MeanMinMax(func(m *Measurement) float64 {
 			reads := m.OffchipReadUser + m.OffchipReadOS
 			if reads == 0 {
 				return 0
 			}
 			return m.DRAMUtilization() * float64(m.OffchipReadOS) / float64(reads)
 		})
-		rows = append(rows, BandwidthRow{Label: e.Label, App: app, OS: osu})
+		rows = append(rows, BandwidthRow{
+			Label: e.Label, App: app, OS: osu,
+			TotalCI: res.CI(func(m *Measurement) float64 { return m.DRAMUtilization() }),
+		})
 	}
 	return rows, nil
 }

@@ -123,13 +123,13 @@ func (r *Runner) Implications(entries []Entry, o Options) ([]ImplicationRow, err
 	rows := make([]ImplicationRow, 0, len(entries))
 	for i, e := range entries {
 		rc, ro := results[i], results[len(entries)+i]
-		cIPC, _, _ := rc.Stat(func(m *Measurement) float64 { return m.IPC() })
-		oIPC, _, _ := ro.Stat(func(m *Measurement) float64 { return m.IPC() })
-		cPJ, _, _ := rc.Stat(func(m *Measurement) float64 {
+		cIPC, _, _ := rc.MeanMinMax(func(m *Measurement) float64 { return m.IPC() })
+		oIPC, _, _ := ro.MeanMinMax(func(m *Measurement) float64 { return m.IPC() })
+		cPJ, _, _ := rc.MeanMinMax(func(m *Measurement) float64 {
 			pp := power.ConventionalParams(conv.Mem.CoresPerSocket, conv.Mem.LLC.SizeBytes>>20)
 			return power.Estimate(pp, &m.Counters, o.Cores).PJPerInstruction()
 		})
-		oPJ, _, _ := ro.Stat(func(m *Measurement) float64 {
+		oPJ, _, _ := ro.MeanMinMax(func(m *Measurement) float64 {
 			pp := power.ModestParams(opt.Mem.CoresPerSocket, opt.Mem.LLC.SizeBytes>>20)
 			return power.Estimate(pp, &m.Counters, o.Cores).PJPerInstruction()
 		})
@@ -190,8 +190,8 @@ func (r *Runner) InstructionPrefetchStudy(entries []Entry, o Options) ([]IPrefRo
 		var mpki, ipc [3]float64
 		for c := range configs {
 			res := results[c*len(entries)+i]
-			mpki[c], _, _ = res.Stat(func(m *Measurement) float64 { return m.L1IMPKIUser() + m.L1IMPKIOS() })
-			ipc[c], _, _ = res.Stat(func(m *Measurement) float64 { return m.IPC() })
+			mpki[c], _, _ = res.MeanMinMax(func(m *Measurement) float64 { return m.L1IMPKIUser() + m.L1IMPKIOS() })
+			ipc[c], _, _ = res.MeanMinMax(func(m *Measurement) float64 { return m.IPC() })
 		}
 		rows = append(rows, IPrefRow{
 			Label:    e.Label,

@@ -7,9 +7,30 @@ import (
 	"cloudsuite/internal/sim/cache"
 	"cloudsuite/internal/sim/counters"
 	"cloudsuite/internal/sim/engine"
+	"cloudsuite/internal/sim/sample"
 	"cloudsuite/internal/trace"
 	"cloudsuite/internal/workloads"
 )
+
+// Sampling configures SMARTS-style interval sampling for a measurement:
+// N short timed intervals spread across a longer execution, each
+// preceded by functional warming, instead of one contiguous window.
+// The zero value keeps the contiguous methodology. Zero fields of an
+// enabled spec resolve to defaults derived from MeasureInsts (see
+// sample.Spec.Normalize): by default the schedule covers the same
+// effective horizon as the contiguous window while measuring a fifth
+// of it. TargetRelErr > 0 additionally stops spawning intervals once
+// the 95% CI of IPC is within that relative error.
+type Sampling = sample.Spec
+
+// Estimate is a sampled metric statistic: mean, standard error, and
+// 95% confidence interval (see Measurement.CI and EntryResult.CI).
+type Estimate = sample.Estimate
+
+// DefaultSampling returns an enabled sampling spec with the default
+// interval count; the per-interval budgets resolve against MeasureInsts
+// at canonicalization.
+func DefaultSampling() Sampling { return Sampling{Intervals: sample.DefaultIntervals} }
 
 // Options configures one measurement, mirroring the paper's methodology
 // (Section 3.1): four cores dedicated to the workload, a ramp-up period
@@ -37,8 +58,15 @@ type Options struct {
 	PolluteBytes uint64
 	// WarmupInsts is the per-thread functional warm-up (ramp-up).
 	WarmupInsts int64
-	// MeasureInsts is the per-thread measured instruction budget.
+	// MeasureInsts is the per-thread measured instruction budget: the
+	// contiguous window length, or — when Sampling is enabled — the
+	// effective horizon the interval schedule's defaults are derived
+	// from.
 	MeasureInsts int64
+	// Sampling, when enabled, replaces the contiguous window with
+	// interval sampling: per-interval counter vectors land in
+	// Measurement.Samples, and CI reports confidence intervals.
+	Sampling Sampling
 	// Seed controls the request streams and datasets. Runs with the same
 	// seed are bit-identical: workload threads interleave over shared
 	// structures in lockstep with the simulator's deterministic pull
@@ -65,12 +93,50 @@ func DefaultOptions() Options {
 // measurement window plus derived context.
 type Measurement struct {
 	// Counters is the summed counter block over the workload cores; its
-	// Cycles field is the core-cycle total (window length x cores).
+	// Cycles field is the core-cycle total (window length x cores). In
+	// sampled mode it is the sum over the measurement intervals.
 	counters.Counters
-	// WindowCycles is the measured window length in wall-clock cycles.
+	// WindowCycles is the measured window length in wall-clock cycles
+	// (summed over intervals in sampled mode).
 	WindowCycles int64
 	// BenchName records the workload.
 	BenchName string
+	// Samples holds the per-interval counter deltas of a sampled run,
+	// aggregated over the workload cores exactly like the top-level
+	// Counters (nil for contiguous measurements).
+	Samples []IntervalSample
+}
+
+// IntervalSample is one measurement interval of a sampled run.
+type IntervalSample struct {
+	// Counters is the interval's counter delta over the workload cores.
+	counters.Counters
+	// WindowCycles is the interval's length in wall-clock cycles.
+	WindowCycles int64
+}
+
+// Sampled reports whether the measurement used interval sampling.
+func (m *Measurement) Sampled() bool { return len(m.Samples) > 0 }
+
+// asMeasurement views one interval as a standalone Measurement so the
+// same metric closures serve aggregates and intervals alike.
+func (s *IntervalSample) asMeasurement(bench string) *Measurement {
+	return &Measurement{Counters: s.Counters, WindowCycles: s.WindowCycles, BenchName: bench}
+}
+
+// CI returns the sample statistics of metric f across the measurement
+// intervals: mean, standard error, and 95% confidence interval. For a
+// contiguous measurement (or a single interval) it degenerates to a
+// zero-width point estimate of the aggregate value.
+func (m *Measurement) CI(f func(*Measurement) float64) Estimate {
+	if len(m.Samples) < 2 {
+		return sample.Point(f(m))
+	}
+	vals := make([]float64, len(m.Samples))
+	for i := range m.Samples {
+		vals[i] = f(m.Samples[i].asMeasurement(m.BenchName))
+	}
+	return sample.FromSamples(vals)
 }
 
 // Measure runs one workload instance under the given options.
@@ -80,6 +146,9 @@ type Measurement struct {
 // equal canonical forms measure identically by construction.
 func Measure(w workloads.Workload, o Options) (*Measurement, error) {
 	c := canonicalize(o)
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
 	machine := &c.machine
 
 	if c.cores > machine.Mem.TotalCores() ||
@@ -139,6 +208,35 @@ func Measure(w workloads.Workload, o Options) (*Measurement, error) {
 		MeasureInsts: c.measureInsts,
 		MaxCycles:    c.measureInsts * int64(nThreads) * 40,
 	}
+	if c.sampling.Enabled() {
+		// Sampled mode: N timed intervals of IntervalInsts each, every
+		// interval preceded by WarmInsts of functional warming. The
+		// engine's per-window budget and safety net scale to the
+		// interval.
+		cfg.MeasureInsts = c.sampling.IntervalInsts
+		cfg.MaxCycles = c.sampling.IntervalInsts * int64(nThreads) * 40
+		cfg.Intervals = c.sampling.Intervals
+		// The warming budget splits into functional warming plus a
+		// detailed-warming tail (timed execution, counters frozen) so
+		// windows open on steady-state pipeline occupancy; the per-
+		// interval horizon stays WarmInsts + IntervalInsts.
+		cfg.IntervalWarmInsts = c.sampling.FunctionalWarmInsts()
+		cfg.DetailWarmInsts = c.sampling.DetailWarmInsts()
+		if c.sampling.TargetRelErr > 0 {
+			// Adaptive stopping on the target metric (IPC over the
+			// workload cores): deterministic, so the interval count a
+			// configuration settles on is a pure function of the options.
+			target := c.sampling.TargetRelErr
+			cfg.StopSampling = func(done []engine.IntervalResult) bool {
+				vals := make([]float64, len(done))
+				for i := range done {
+					agg := aggregateCores(done[i].PerCore, coreOf)
+					vals[i] = agg.IPC()
+				}
+				return sample.Stop(vals, target)
+			}
+		}
+	}
 	res, err := engine.Run(cfg, threads)
 	if err != nil {
 		return nil, err
@@ -146,6 +244,25 @@ func Measure(w workloads.Workload, o Options) (*Measurement, error) {
 	// Aggregate over the workload cores only: polluter cores are part of
 	// the machine but not of the measurement (Section 3.1 measures the
 	// cores under test).
+	total := aggregateCores(res.PerCore, coreOf)
+	// DRAM busy/span are chip-wide.
+	total.DRAMBusyCycles = res.Total.DRAMBusyCycles
+	total.DRAMTotalCycles = res.Total.DRAMTotalCycles
+	total.DRAMChannels = res.Total.DRAMChannels
+	m := &Measurement{Counters: total, WindowCycles: res.Cycles, BenchName: w.Name()}
+	for _, iv := range res.Intervals {
+		agg := aggregateCores(iv.PerCore, coreOf)
+		agg.DRAMBusyCycles = iv.DRAMBusyCycles
+		agg.DRAMTotalCycles = uint64(iv.Cycles)
+		agg.DRAMChannels = res.Total.DRAMChannels
+		m.Samples = append(m.Samples, IntervalSample{Counters: agg, WindowCycles: iv.Cycles})
+	}
+	return m, nil
+}
+
+// aggregateCores sums the counter blocks of the distinct workload cores
+// in coreOf.
+func aggregateCores(perCore []*counters.Counters, coreOf []int) counters.Counters {
 	var total counters.Counters
 	seen := map[int]bool{}
 	for _, c := range coreOf {
@@ -153,16 +270,11 @@ func Measure(w workloads.Workload, o Options) (*Measurement, error) {
 			continue
 		}
 		seen[c] = true
-		if pc := res.PerCore[c]; pc != nil {
+		if pc := perCore[c]; pc != nil {
 			total.Add(pc)
 		}
 	}
-	// DRAM busy/span are chip-wide.
-	total.DRAMBusyCycles = res.Total.DRAMBusyCycles
-	total.DRAMTotalCycles = res.Total.DRAMTotalCycles
-	total.DRAMChannels = res.Total.DRAMChannels
-	m := &Measurement{Counters: total, WindowCycles: res.Cycles, BenchName: w.Name()}
-	return m, nil
+	return total
 }
 
 // placeCore maps workload-core index cid (0..n-1) to a global core id.
@@ -270,22 +382,38 @@ func MeasureEntry(e Entry, o Options) (*EntryResult, error) {
 	return r, nil
 }
 
-// Stat extracts f per member and returns mean, min, max.
-func (r *EntryResult) Stat(f func(*Measurement) float64) (mean, lo, hi float64) {
+// MeanMinMax extracts f per member and returns the mean plus the
+// minimum and maximum member values — the spread across an entry's
+// members (Figure 3's range bars), NOT a confidence interval. For
+// statistical intervals over a sampled run use CI.
+func (r *EntryResult) MeanMinMax(f func(*Measurement) float64) (mean, min, max float64) {
 	if len(r.Measurements) == 0 {
 		return 0, 0, 0
 	}
-	lo, hi = f(r.Measurements[0]), f(r.Measurements[0])
+	min, max = f(r.Measurements[0]), f(r.Measurements[0])
 	var sum float64
 	for _, m := range r.Measurements {
 		v := f(m)
 		sum += v
-		if v < lo {
-			lo = v
+		if v < min {
+			min = v
 		}
-		if v > hi {
-			hi = v
+		if v > max {
+			max = v
 		}
 	}
-	return sum / float64(len(r.Measurements)), lo, hi
+	return sum / float64(len(r.Measurements)), min, max
+}
+
+// CI returns the entry-level 95% confidence interval of metric f: each
+// member contributes its per-interval sample statistics, combined in
+// quadrature across the independently-measured members. Contiguous
+// members degrade to zero-width point estimates, so the result is a
+// plain mean when sampling is off.
+func (r *EntryResult) CI(f func(*Measurement) float64) Estimate {
+	ests := make([]sample.Estimate, 0, len(r.Measurements))
+	for _, m := range r.Measurements {
+		ests = append(ests, m.CI(f))
+	}
+	return sample.Combine(ests)
 }

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
+
+	"cloudsuite/internal/sim/sample"
 )
 
 // This file implements the experiment-orchestration layer: a Runner
@@ -53,6 +56,13 @@ type RunnerStats struct {
 	CacheHits int64
 	// Errors is the number of executed runs that failed.
 	Errors int64
+	// MeasuredInsts is the total instruction count committed inside
+	// timed measurement windows across executed runs — the
+	// counter-bearing work interval sampling reduces (cache hits
+	// measure nothing new). Detailed-warming instructions of sampled
+	// runs execute under full timing but are not counted here, so
+	// wall-clock cost shrinks less than this metric does.
+	MeasuredInsts int64
 }
 
 // measureKey identifies a measurement up to result equality: the
@@ -78,6 +88,7 @@ type canonicalOptions struct {
 	polluteBytes uint64
 	warmupInsts  int64
 	measureInsts int64
+	sampling     sample.Spec
 	seed         int64
 }
 
@@ -104,6 +115,15 @@ func canonicalize(o Options) canonicalOptions {
 	if c.measureInsts == 0 {
 		c.measureInsts = DefaultOptions().MeasureInsts
 	}
+	// Sampling defaults derive from the resolved contiguous budget, so
+	// two spellings of the same schedule share a cache slot. An invalid
+	// spec is kept verbatim: it gets its own key and Measure rejects it,
+	// rather than colliding with the contiguous configuration.
+	if o.Sampling.Validate() == nil {
+		c.sampling = o.Sampling.Normalize(c.measureInsts)
+	} else {
+		c.sampling = o.Sampling
+	}
 	switch {
 	case o.Machine != nil:
 		c.machine = *o.Machine
@@ -115,6 +135,24 @@ func canonicalize(o Options) canonicalOptions {
 		c.machine = XeonX5670()
 	}
 	return c
+}
+
+// validate guards the canonical form against budgets the engine cannot
+// schedule (the defaulting above only fills zeros, so negatives and
+// malformed sampling specs survive to here and must be rejected with a
+// clear error instead of hanging the timed loop or dividing by zero
+// downstream).
+func (c *canonicalOptions) validate() error {
+	if c.warmupInsts < 0 {
+		return fmt.Errorf("core: WarmupInsts %d must be >= 0", c.warmupInsts)
+	}
+	if c.measureInsts <= 0 {
+		return fmt.Errorf("core: MeasureInsts %d must be positive", c.measureInsts)
+	}
+	if err := c.sampling.Validate(); err != nil {
+		return fmt.Errorf("core: invalid Sampling: %w", err)
+	}
+	return nil
 }
 
 // cacheCell is one memoized measurement. The first requester computes
@@ -297,11 +335,13 @@ func (r *Runner) measureOne(req MeasureRequest) (*Measurement, bool, error) {
 	r.slots <- struct{}{}
 	cell.m, cell.err = MeasureBench(req.Bench, req.Options)
 	<-r.slots
+	r.mu.Lock()
 	if cell.err != nil {
-		r.mu.Lock()
 		r.stats.Errors++
-		r.mu.Unlock()
+	} else {
+		r.stats.MeasuredInsts += int64(cell.m.Commits())
 	}
+	r.mu.Unlock()
 	close(cell.done)
 	if cell.err != nil {
 		return nil, false, cell.err

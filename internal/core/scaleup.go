@@ -80,18 +80,18 @@ func (r *Runner) ScaleUpStudy(entries []Entry, points []ScalePoint, o Options) (
 		row := ScaleUpRow{Label: e.Label}
 		for pi, p := range points {
 			res := results[pi*len(entries)+i]
-			chip, _, _ := res.Stat(func(m *Measurement) float64 {
+			chip, _, _ := res.MeanMinMax(func(m *Measurement) float64 {
 				if m.WindowCycles == 0 {
 					return 0
 				}
 				return float64(m.Commits()) / float64(m.WindowCycles)
 			})
-			mlp, _, _ := res.Stat(func(m *Measurement) float64 { return m.MLP() })
-			bw, _, _ := res.Stat(func(m *Measurement) float64 { return m.DRAMUtilization() })
-			rh, _, _ := res.Stat(func(m *Measurement) float64 {
+			mlp, _, _ := res.MeanMinMax(func(m *Measurement) float64 { return m.MLP() })
+			bw, _, _ := res.MeanMinMax(func(m *Measurement) float64 { return m.DRAMUtilization() })
+			rh, _, _ := res.MeanMinMax(func(m *Measurement) float64 {
 				return 1000 * float64(m.RemoteSocketHit) / float64(m.Commits())
 			})
-			rd, _, _ := res.Stat(func(m *Measurement) float64 { return m.RemoteDRAMFrac() })
+			rd, _, _ := res.MeanMinMax(func(m *Measurement) float64 { return m.RemoteDRAMFrac() })
 			cell := ScaleUpCell{
 				Sockets: p.Sockets, Cores: p.Cores,
 				ChipIPC: chip, MLP: mlp, BWUtil: bw,

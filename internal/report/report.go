@@ -115,6 +115,13 @@ type Segment struct {
 // Pct formats a fraction as a percentage.
 func Pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 
+// PM formats a 95% CI half-width as a ± annotation ("±0.03").
+func PM(half float64) string { return fmt.Sprintf("±%.2f", half) }
+
+// PMPct formats a fractional 95% CI half-width as a ± percentage
+// ("±1.5%").
+func PMPct(half float64) string { return fmt.Sprintf("±%.1f%%", 100*half) }
+
 // F2 formats a float with two decimals.
 func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
 

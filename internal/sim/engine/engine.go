@@ -74,11 +74,49 @@ type RunConfig struct {
 	// TLBs and predictors are trained without timing, mirroring the
 	// paper's ramp-up period before the measurement window.
 	WarmupInsts int64
-	// MeasureInsts is the per-measured-thread instruction budget of the
-	// timed window.
+	// MeasureInsts is the per-measured-thread instruction budget of each
+	// timed window (the whole measurement in contiguous mode, one
+	// interval in sampled mode). Must be positive.
 	MeasureInsts int64
-	// MaxCycles bounds the timed window as a safety net (0 = no bound).
+	// MaxCycles bounds each timed window as a safety net (0 = no bound).
 	MaxCycles int64
+
+	// Intervals selects SMARTS-style interval sampling when >= 1: the
+	// run executes Intervals timed windows of MeasureInsts each, every
+	// window after the first preceded by IntervalWarmInsts of functional
+	// warming (caches, TLBs and predictors updated, counters frozen).
+	// Per-window counter deltas land in Result.Intervals. 0 runs the
+	// classic single contiguous window.
+	Intervals int
+	// IntervalWarmInsts is the per-thread functional-warming budget
+	// between consecutive measurement intervals.
+	IntervalWarmInsts int64
+	// DetailWarmInsts, in sampled mode, runs an aggregate quantum of
+	// DetailWarmInsts x measured-threads through the detailed timing
+	// model immediately before each window's counters are snapshotted:
+	// the window then opens on steady-state pipeline occupancy instead
+	// of the commit burst a functionally-refilled window would produce.
+	DetailWarmInsts int64
+	// StopSampling, when non-nil, is consulted after each completed
+	// interval with the windows measured so far; returning true ends the
+	// run early (adaptive sampling). The callback sees deterministic
+	// inputs, so early stopping keeps runs bit-reproducible per seed.
+	StopSampling func(done []IntervalResult) bool
+}
+
+// IntervalResult is one timed measurement window of a sampled run: the
+// per-core counter deltas of that window only (functional-warming
+// activity between windows is excluded by construction).
+type IntervalResult struct {
+	// PerCore holds each used core's counter delta over this window,
+	// indexed by global core id (nil for unused cores). DRAM busy/span
+	// fields are zeroed here; the chip-wide values are below.
+	PerCore []*counters.Counters
+	// Cycles is this window's length in cycles.
+	Cycles int64
+	// DRAMBusyCycles is the chip-wide DRAM busy-cycle delta of this
+	// window (summed over channels and sockets).
+	DRAMBusyCycles uint64
 }
 
 // Result carries the outcome of a run.
@@ -91,8 +129,12 @@ type Result struct {
 	PerCore []*counters.Counters
 	// PerThread holds committed-instruction counts per thread.
 	PerThread []uint64
-	// Cycles is the timed-window length in cycles.
+	// Cycles is the timed length in cycles (summed over windows in
+	// sampled mode).
 	Cycles int64
+	// Intervals holds the per-window deltas of a sampled run (nil in
+	// contiguous mode). Total and PerCore are their sums.
+	Intervals []IntervalResult
 }
 
 const (
@@ -133,6 +175,15 @@ type context struct {
 	lastMode          bool // kernel flag of last dispatched inst
 	committed         uint64
 	committedUser     uint64
+
+	// Functional-warming fetch state, kept across warming phases so a
+	// sampled run's later warm intervals do not re-touch lines the
+	// stream already sits on.
+	warmLine uint64
+	warmPage uint64
+	// target is the cumulative commit count that ends the current timed
+	// window for this context.
+	target uint64
 }
 
 type core struct {
@@ -192,6 +243,19 @@ func Run(cfg RunConfig, threads []Thread) (*Result, error) {
 	if len(threads) == 0 {
 		return nil, errors.New("engine: no threads")
 	}
+	// Budget guards: a zero or negative measured budget would convert to
+	// a huge uint64 commit target and spin the timed loop until the trace
+	// ends (never, for the suite's unbounded generators).
+	if cfg.MeasureInsts <= 0 {
+		return nil, fmt.Errorf("engine: MeasureInsts %d must be positive", cfg.MeasureInsts)
+	}
+	if cfg.WarmupInsts < 0 {
+		return nil, fmt.Errorf("engine: WarmupInsts %d must be >= 0", cfg.WarmupInsts)
+	}
+	if cfg.Intervals < 0 || cfg.IntervalWarmInsts < 0 || cfg.DetailWarmInsts < 0 {
+		return nil, fmt.Errorf("engine: sampling schedule (%d intervals, %d warm insts, %d detail insts) must be non-negative",
+			cfg.Intervals, cfg.IntervalWarmInsts, cfg.DetailWarmInsts)
+	}
 	if cfg.Core.Width == 0 {
 		cfg.Core = DefaultCoreConfig()
 	}
@@ -241,53 +305,183 @@ func Run(cfg RunConfig, threads []Thread) (*Result, error) {
 
 	// Functional warm-up: stream instructions through caches, TLBs and
 	// the branch predictor with a coarse pseudo-clock, then snapshot
-	// counters so the measured window reports deltas only.
-	warmClock := int64(0)
+	// counters so the measured windows report deltas only. A sampled run
+	// (cfg.Intervals >= 1) repeats the warm/measure alternation per
+	// interval; the contiguous mode is the one-window special case of
+	// the same loop, cycle-for-cycle identical to the pre-sampling
+	// engine.
+	clock := int64(0)
 	for _, co := range cores {
 		for _, ctx := range co.ctxs {
-			var fetched int64
-			var lastLine, lastPage uint64
-			for fetched < cfg.WarmupInsts {
-				in, ok := ctx.peek()
-				if !ok {
-					break
-				}
-				line := in.PC >> cache.LineShift
-				if line != lastLine {
-					page := in.PC >> 12
-					if page != lastPage {
-						co.tlbs.TranslateI(in.PC)
-						lastPage = page
-					}
-					mem.FetchInstr(co.id, in.PC, warmClock, in.Kernel)
-					lastLine = line
-				}
-				switch in.Op {
-				case trace.OpLoad, trace.OpStore:
-					co.tlbs.TranslateD(in.Addr)
-					mem.AccessData(co.id, in.Addr, in.Op == trace.OpStore, in.Kernel, warmClock)
-				case trace.OpBranch:
-					co.bp.Update(in.PC, in.Taken, in.Target)
-				}
-				ctx.advance()
-				fetched++
-				warmClock += 2
-			}
+			co.warmThread(ctx, mem, cfg.WarmupInsts, &clock)
 		}
 	}
 
-	snapshots := make([]counters.Counters, cfg.Mem.TotalCores())
-	for _, co := range cores {
-		snapshots[co.id] = *mem.Ctr(co.id)
+	nWindows := cfg.Intervals
+	if nWindows < 1 {
+		nWindows = 1
 	}
-	mem.DRAMSetSpanStart(warmClock)
-	mem.DRAMResetQueues(warmClock)
-	dramBusyStart := mem.DRAMBusyCycles()
+	nMeasured := 0
+	for _, t := range threads {
+		if t.Measured {
+			nMeasured++
+		}
+	}
+	totalCores := cfg.Mem.TotalCores()
+	res := &Result{
+		PerCore:   make([]*counters.Counters, totalCores),
+		PerThread: make([]uint64, len(threads)),
+	}
+	totals := make([]counters.Counters, totalCores)
+	snapshots := make([]counters.Counters, totalCores)
+	var totalBusy uint64
 
-	now := warmClock
-	start := now
-	active := true
-	for active {
+	for iv := 0; iv < nWindows; iv++ {
+		if iv > 0 {
+			for _, co := range cores {
+				for _, ctx := range co.ctxs {
+					co.warmThread(ctx, mem, cfg.IntervalWarmInsts, &clock)
+				}
+			}
+		}
+		if cfg.Intervals >= 1 && cfg.DetailWarmInsts > 0 {
+			// Detailed warming: execute a pre-window quantum under full
+			// timing before the snapshot, so the measured window starts
+			// from steady-state pipeline state.
+			clock = runQuantum(cores, mem, cfg, clock, uint64(cfg.DetailWarmInsts)*uint64(nMeasured))
+		}
+		// Window stop condition. Contiguous mode preserves the paper's
+		// per-thread contract: the window ends when every measured thread
+		// has committed its budget. Sampled windows instead measure a
+		// chip-wide instruction quantum (the SMARTS sampling unit):
+		// MeasureInsts x measured-threads committed in aggregate. A
+		// per-thread budget would overshoot badly on short windows when
+		// thread progress is uneven (e.g. split-socket runs) — the fast
+		// threads keep committing until the slowest reaches its budget,
+		// once per interval.
+		var quantumGoal uint64
+		for _, co := range cores {
+			snapshots[co.id] = *mem.Ctr(co.id)
+			for _, ctx := range co.ctxs {
+				ctx.target = ctx.committed + uint64(cfg.MeasureInsts)
+				if ctx.measured {
+					quantumGoal += ctx.committed
+				}
+			}
+		}
+		quantumGoal += uint64(cfg.MeasureInsts) * uint64(nMeasured)
+		mem.DRAMSetSpanStart(clock)
+		mem.DRAMResetQueues(clock)
+		dramBusyStart := mem.DRAMBusyCycles()
+
+		now := clock
+		start := now
+		active := true
+		for active {
+			now++
+			if cfg.MaxCycles > 0 && now-start > cfg.MaxCycles {
+				break
+			}
+			for _, co := range cores {
+				co.cycle(now, mem, cfg)
+			}
+			if cfg.Intervals >= 1 {
+				// Sampled window: stop once the aggregate quantum is
+				// committed (or every measured thread has drained).
+				var sum uint64
+				live := false
+				for _, co := range cores {
+					for _, ctx := range co.ctxs {
+						if ctx.measured {
+							sum += ctx.committed
+							if !ctx.drained() {
+								live = true
+							}
+						}
+					}
+				}
+				active = sum < quantumGoal && live
+			} else {
+				// Contiguous window: stop when every measured thread has
+				// committed its budget.
+				active = false
+				for _, co := range cores {
+					for _, ctx := range co.ctxs {
+						if ctx.measured && ctx.committed < ctx.target && !ctx.drained() {
+							active = true
+						}
+					}
+				}
+			}
+		}
+		clock = now
+		res.Cycles += now - start
+
+		busy := mem.DRAMBusyCycles() - dramBusyStart
+		totalBusy += busy
+		window := IntervalResult{
+			PerCore:        make([]*counters.Counters, totalCores),
+			Cycles:         now - start,
+			DRAMBusyCycles: busy,
+		}
+		drainedAll := true
+		for _, co := range cores {
+			d := mem.Ctr(co.id).Sub(&snapshots[co.id])
+			d.DRAMBusyCycles = 0 // chip-wide; reported per window and in Total
+			d.DRAMTotalCycles = 0
+			window.PerCore[co.id] = &d
+			totals[co.id].Add(&d)
+			for _, ctx := range co.ctxs {
+				res.PerThread[ctx.tid] = ctx.committed
+				if ctx.measured && !ctx.drained() {
+					drainedAll = false
+				}
+			}
+		}
+		if cfg.Intervals >= 1 {
+			res.Intervals = append(res.Intervals, window)
+		}
+		if drainedAll {
+			break // finite traces: no instructions left to sample
+		}
+		if cfg.StopSampling != nil && cfg.StopSampling(res.Intervals) {
+			break
+		}
+	}
+
+	for _, co := range cores {
+		t := totals[co.id]
+		res.PerCore[co.id] = &t
+		res.Total.Add(&t)
+	}
+	// DRAM busy/span are chip-wide quantities, not per-core sums.
+	res.Total.DRAMBusyCycles = totalBusy
+	res.Total.DRAMTotalCycles = uint64(res.Cycles)
+	res.Total.DRAMChannels = uint64(mem.DRAMTotalChannels())
+	return res, nil
+}
+
+// runQuantum advances the detailed timing model from clock until the
+// measured threads commit an aggregate quantum of instructions (or all
+// drain, or the MaxCycles safety net trips) and returns the new clock.
+// Counter effects land in the live counter blocks; callers exclude them
+// by snapshotting afterwards.
+func runQuantum(cores []*core, mem *cache.System, cfg RunConfig, clock int64, quantum uint64) int64 {
+	var goal uint64
+	live := false
+	for _, co := range cores {
+		for _, ctx := range co.ctxs {
+			if ctx.measured {
+				goal += ctx.committed
+				if !ctx.drained() {
+					live = true
+				}
+			}
+		}
+	}
+	goal += quantum
+	now, start := clock, clock
+	for active := live && quantum > 0; active; {
 		now++
 		if cfg.MaxCycles > 0 && now-start > cfg.MaxCycles {
 			break
@@ -295,37 +489,55 @@ func Run(cfg RunConfig, threads []Thread) (*Result, error) {
 		for _, co := range cores {
 			co.cycle(now, mem, cfg)
 		}
-		// Stop when every measured thread has committed its budget.
-		active = false
+		var sum uint64
+		live = false
 		for _, co := range cores {
 			for _, ctx := range co.ctxs {
-				if ctx.measured && ctx.committed < uint64(cfg.MeasureInsts) && !ctx.drained() {
-					active = true
+				if ctx.measured {
+					sum += ctx.committed
+					if !ctx.drained() {
+						live = true
+					}
 				}
 			}
 		}
+		active = sum < goal && live
 	}
+	return now
+}
 
-	res := &Result{
-		PerCore:   make([]*counters.Counters, cfg.Mem.TotalCores()),
-		PerThread: make([]uint64, len(threads)),
-		Cycles:    now - start,
-	}
-	for _, co := range cores {
-		d := mem.Ctr(co.id).Sub(&snapshots[co.id])
-		d.DRAMBusyCycles = 0 // chip-wide; reported in Total only
-		d.DRAMTotalCycles = 0
-		res.PerCore[co.id] = &d
-		res.Total.Add(&d)
-		for _, ctx := range co.ctxs {
-			res.PerThread[ctx.tid] = ctx.committed
+// warmThread streams up to insts instructions of ctx through the
+// caches, TLBs, and branch predictor with a coarse pseudo-clock and no
+// timing: microarchitectural state observes every instruction while the
+// measured windows' counter deltas exclude this activity (functional
+// warming). The shared clock advances so DRAM-queue and span bookkeeping
+// stay ordered with the timed windows around it.
+func (co *core) warmThread(ctx *context, mem *cache.System, insts int64, clock *int64) {
+	for fetched := int64(0); fetched < insts; fetched++ {
+		in, ok := ctx.peek()
+		if !ok {
+			return
 		}
+		line := in.PC >> cache.LineShift
+		if line != ctx.warmLine {
+			page := in.PC >> 12
+			if page != ctx.warmPage {
+				co.tlbs.TranslateI(in.PC)
+				ctx.warmPage = page
+			}
+			mem.FetchInstr(co.id, in.PC, *clock, in.Kernel)
+			ctx.warmLine = line
+		}
+		switch in.Op {
+		case trace.OpLoad, trace.OpStore:
+			co.tlbs.TranslateD(in.Addr)
+			mem.AccessData(co.id, in.Addr, in.Op == trace.OpStore, in.Kernel, *clock)
+		case trace.OpBranch:
+			co.bp.Update(in.PC, in.Taken, in.Target)
+		}
+		ctx.advance()
+		*clock += 2
 	}
-	// DRAM busy/span are chip-wide quantities, not per-core sums.
-	res.Total.DRAMBusyCycles = mem.DRAMBusyCycles() - dramBusyStart
-	res.Total.DRAMTotalCycles = uint64(now - start)
-	res.Total.DRAMChannels = uint64(mem.DRAMTotalChannels())
-	return res, nil
 }
 
 // drained reports whether the context has no more work: stream ended and

@@ -298,6 +298,153 @@ func TestMSHRLimitBoundsMLP(t *testing.T) {
 	}
 }
 
+// TestSampledRunProducesIntervals: the sampling gate yields one counter
+// delta per interval, and their sums are the run totals.
+func TestSampledRunProducesIntervals(t *testing.T) {
+	cfg := RunConfig{
+		Core: DefaultCoreConfig(), Mem: cache.DefaultSystemConfig(),
+		WarmupInsts: 10_000, MeasureInsts: 2_000, MaxCycles: 10_000_000,
+		Intervals: 6, IntervalWarmInsts: 8_000,
+	}
+	res, err := Run(cfg, []Thread{{Gen: loadStream(7, 8<<20, false, 100_000), Core: 0, Measured: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Intervals) != 6 {
+		t.Fatalf("got %d intervals, want 6", len(res.Intervals))
+	}
+	var cyc int64
+	var commits, busy uint64
+	for i, iv := range res.Intervals {
+		if iv.Cycles <= 0 {
+			t.Fatalf("interval %d has %d cycles", i, iv.Cycles)
+		}
+		pc := iv.PerCore[0]
+		if pc == nil {
+			t.Fatalf("interval %d missing core 0 delta", i)
+		}
+		if pc.Commits() < 2_000 {
+			t.Fatalf("interval %d committed %d, want >= budget 2000", i, pc.Commits())
+		}
+		cyc += iv.Cycles
+		commits += pc.Commits()
+		busy += iv.DRAMBusyCycles
+	}
+	if cyc != res.Cycles {
+		t.Fatalf("interval cycles sum %d != total %d", cyc, res.Cycles)
+	}
+	if commits != res.PerCore[0].Commits() {
+		t.Fatalf("interval commits sum %d != total %d", commits, res.PerCore[0].Commits())
+	}
+	if busy != res.Total.DRAMBusyCycles {
+		t.Fatalf("interval DRAM busy sum %d != total %d", busy, res.Total.DRAMBusyCycles)
+	}
+	// Warming between intervals is excluded from the measured totals:
+	// the run commits ~6 x 2000 timed instructions, far below the
+	// warming volume it streamed.
+	if got := res.PerCore[0].Commits(); got > 13_000 {
+		t.Fatalf("measured commits %d include warming activity", got)
+	}
+}
+
+// TestSampledMatchesContiguousShape: sampled and contiguous measurements
+// of the same stream must agree on coarse metrics (same workload, warm
+// state) while the sampled run measures far fewer instructions.
+func TestSampledMatchesContiguousShape(t *testing.T) {
+	mk := func() []Thread {
+		return []Thread{{Gen: loadStream(11, 4<<20, false, 100_000), Core: 0, Measured: true}}
+	}
+	contig, err := Run(RunConfig{
+		Core: DefaultCoreConfig(), Mem: cache.DefaultSystemConfig(),
+		WarmupInsts: 20_000, MeasureInsts: 40_000, MaxCycles: 20_000_000,
+	}, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := Run(RunConfig{
+		Core: DefaultCoreConfig(), Mem: cache.DefaultSystemConfig(),
+		WarmupInsts: 20_000, MeasureInsts: 1_000, MaxCycles: 20_000_000,
+		Intervals: 8, IntervalWarmInsts: 4_000,
+	}, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, si := contig.Total.IPC(), sampled.Total.IPC()
+	if si < ci*0.8 || si > ci*1.2 {
+		t.Fatalf("sampled IPC %.3f strays from contiguous %.3f", si, ci)
+	}
+	if sampled.PerCore[0].Commits() > contig.PerCore[0].Commits()/4 {
+		t.Fatalf("sampled run measured %d insts vs contiguous %d: no reduction",
+			sampled.PerCore[0].Commits(), contig.PerCore[0].Commits())
+	}
+}
+
+// TestAdaptiveStopCallback: StopSampling ends the run early and the
+// result carries only the measured intervals.
+func TestAdaptiveStopCallback(t *testing.T) {
+	calls := 0
+	cfg := RunConfig{
+		Core: DefaultCoreConfig(), Mem: cache.DefaultSystemConfig(),
+		MeasureInsts: 1_000, MaxCycles: 10_000_000,
+		Intervals: 10, IntervalWarmInsts: 1_000,
+		StopSampling: func(done []IntervalResult) bool {
+			calls++
+			return len(done) >= 3
+		},
+	}
+	res, err := Run(cfg, []Thread{{Gen: aluStream(0, 1000), Core: 0, Measured: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Intervals) != 3 {
+		t.Fatalf("adaptive run measured %d intervals, want 3", len(res.Intervals))
+	}
+	if calls != 3 {
+		t.Fatalf("callback ran %d times, want 3", calls)
+	}
+}
+
+// TestFiniteStreamStopsSampling: a drained trace ends the schedule
+// instead of spinning through empty intervals.
+func TestFiniteStreamStopsSampling(t *testing.T) {
+	insts := make([]trace.Inst, 3_000)
+	for i := range insts {
+		insts[i] = trace.Inst{PC: 0x400000, Op: trace.OpALU}
+	}
+	cfg := RunConfig{
+		Core: DefaultCoreConfig(), Mem: cache.DefaultSystemConfig(),
+		MeasureInsts: 1_000, MaxCycles: 10_000_000,
+		Intervals: 10, IntervalWarmInsts: 500,
+	}
+	res, err := Run(cfg, []Thread{{Gen: &trace.SliceGen{Insts: insts}, Core: 0, Measured: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Intervals) >= 10 {
+		t.Fatalf("drained stream still ran %d intervals", len(res.Intervals))
+	}
+	if res.PerThread[0] > 3_000 {
+		t.Fatalf("committed %d of a 3000-inst stream", res.PerThread[0])
+	}
+}
+
+// TestBudgetGuards: non-positive budgets are rejected with clear errors
+// instead of hanging the timed loop on a wrapped uint64 target.
+func TestBudgetGuards(t *testing.T) {
+	g := aluStream(0, 10)
+	for _, cfg := range []RunConfig{
+		{MeasureInsts: 0},
+		{MeasureInsts: -5},
+		{MeasureInsts: 100, WarmupInsts: -1},
+		{MeasureInsts: 100, Intervals: -2},
+		{MeasureInsts: 100, Intervals: 4, IntervalWarmInsts: -1},
+	} {
+		if _, err := Run(cfg, []Thread{{Gen: g, Core: 0, Measured: true}}); err == nil {
+			t.Errorf("config %+v accepted, want budget error", cfg)
+		}
+	}
+}
+
 // The LLC directory's sharers bitmask is 32 bits of global core ids;
 // larger machines must be rejected, not silently corrupted.
 func TestRunRejectsMoreThan32Cores(t *testing.T) {
