@@ -53,6 +53,14 @@
 //	m, _ := cloudsuite.MeasureBench(b, o)
 //	ci := m.CI(func(m *cloudsuite.Measurement) float64 { return m.IPC() })
 //	fmt.Printf("IPC %.2f ± %.2f\n", ci.Mean, ci.Half)
+//
+// Parameter sweeps over the same warmed workloads can additionally
+// share warm-state checkpoints: a CheckpointStore snapshots the
+// machine at the warm->measure boundary and later runs fork from the
+// image, byte-identically to warming from cold (DESIGN.md section 6):
+//
+//	cs, _ := cloudsuite.NewCheckpointStore(dir) // "" = in-memory
+//	r.SetCheckpoints(cs)
 package cloudsuite
 
 import (
@@ -111,6 +119,13 @@ type (
 	RunnerStats    = core.RunnerStats
 	ProgressEvent  = core.ProgressEvent
 	ProgressFunc   = core.ProgressFunc
+
+	// CheckpointStore caches warm-state machine snapshots so parameter
+	// sweeps fork from one warm image instead of re-warming per
+	// configuration (Options.Checkpoints, Runner.SetCheckpoints).
+	CheckpointStore = core.CheckpointStore
+	// CheckpointStats counts a CheckpointStore's activity.
+	CheckpointStats = core.CheckpointStats
 )
 
 // Experiment orchestration.
@@ -118,6 +133,9 @@ var (
 	// NewRunner returns a Runner with the given worker-pool width
 	// (<= 0 selects GOMAXPROCS).
 	NewRunner = core.NewRunner
+	// NewCheckpointStore returns a warm-state checkpoint store backed
+	// by a directory ("" = in-memory only).
+	NewCheckpointStore = core.NewCheckpointStore
 )
 
 // Machine configurations.

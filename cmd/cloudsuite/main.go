@@ -7,7 +7,7 @@
 //	cloudsuite -list
 //	cloudsuite -bench "Web Search" [-cores 4] [-sockets 2] [-smt] [-split]
 //	           [-pollute 6] [-warmup 400000] [-measure 120000] [-seed 1]
-//	           [-sample] [-intervals 8] [-relerr 0.05]
+//	           [-sample] [-intervals 8] [-relerr 0.05] [-checkpoint-dir DIR]
 //	cloudsuite -bench "Web Search,Data Serving" [-parallel 4] [-progress]
 //	cloudsuite -bench all
 //
@@ -21,6 +21,9 @@
 // once the CI of IPC is within the requested relative error. Results
 // are bit-reproducible per seed — sampled or not — so the output is
 // identical for every -parallel value.
+// -checkpoint-dir enables warm-state checkpointing: runs fork from
+// cached warm images (persisted in DIR across invocations) instead of
+// re-executing functional warming, byte-identically to a cold run.
 package main
 
 import (
@@ -49,6 +52,7 @@ func main() {
 		sampleF   = flag.Bool("sample", false, "SMARTS-style interval sampling instead of one contiguous window")
 		intervals = flag.Int("intervals", 0, "measurement intervals (0 = default 8; implies -sample)")
 		relerr    = flag.Float64("relerr", 0, "adaptive sampling: stop once the 95% CI of IPC is within this relative error (implies -sample)")
+		ckptDir   = flag.String("checkpoint-dir", "", "warm-state checkpoint directory: fork runs from cached warm images and persist new ones")
 	)
 	flag.Parse()
 
@@ -82,6 +86,14 @@ func main() {
 		runner.SetProgress(func(ev core.ProgressEvent) {
 			fmt.Fprintf(os.Stderr, "%4d/%-4d %s\n", ev.Done, ev.Total, ev.Bench)
 		})
+	}
+	if *ckptDir != "" {
+		cs, err := core.NewCheckpointStore(*ckptDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runner.SetCheckpoints(cs)
 	}
 	reqs := make([]core.MeasureRequest, len(benches))
 	for i, b := range benches {

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	figures [-only 1,3,7] [-fig scaling] [-quick] [-seed 1] [-parallel 4] [-progress]
-//	        [-sample] [-intervals 8] [-relerr 0.05] [-json]
+//	        [-sample] [-intervals 8] [-relerr 0.05] [-json] [-checkpoint-dir DIR]
 //
 // -only selects numbered figures; -fig selects named experiments beyond
 // the paper's figures (currently "scaling", the NUMA scale-up study
@@ -20,6 +20,12 @@
 // implies -sample. Sampled tables carry ± columns (95% CI half-widths).
 // -json emits the selected figures as machine-readable rows plus the
 // runner's work statistics instead of text tables.
+// -checkpoint-dir enables warm-state checkpointing: every measurement
+// forks from a cached warm image when one exists for its warm-relevant
+// configuration (benchmark, machine, placement, warm budget, seed) and
+// contributes its own image otherwise, with images persisted in DIR
+// across invocations. Restored runs are byte-identical to cold runs,
+// so the flag changes wall-clock time, never output.
 // All selected figures share one measurement Runner: -parallel sets its
 // worker-pool width (0 = GOMAXPROCS) and configurations common to
 // several figures are measured once and served from the memoization
@@ -73,6 +79,7 @@ func main() {
 		intervals = flag.Int("intervals", 0, "measurement intervals per configuration (0 = default 8; implies -sample)")
 		relerr    = flag.Float64("relerr", 0, "adaptive sampling: stop early once the 95% CI of IPC is within this relative error (implies -sample)")
 		jsonOut   = flag.Bool("json", false, "machine-readable JSON output (per-figure rows + runner stats)")
+		ckptDir   = flag.String("checkpoint-dir", "", "warm-state checkpoint directory: fork runs from cached warm images and persist new ones")
 	)
 	flag.Parse()
 
@@ -93,6 +100,13 @@ func main() {
 	runner := core.NewRunner(*parallel)
 	if *progress {
 		runner.SetProgress(progressLine)
+	}
+	if *ckptDir != "" {
+		cs, err := core.NewCheckpointStore(*ckptDir)
+		if err != nil {
+			fail(err)
+		}
+		runner.SetCheckpoints(cs)
 	}
 
 	want := map[string]bool{}
@@ -129,6 +143,9 @@ func main() {
 		if *jsonOut {
 			doc.Runner = runner.Stats()
 			emitJSON(doc)
+		}
+		if *progress {
+			reportStats(runner)
 		}
 		if !ok {
 			os.Exit(1)
@@ -233,10 +250,25 @@ func main() {
 		emitJSON(doc)
 	}
 	if *progress {
-		s := runner.Stats()
-		fmt.Fprintf(os.Stderr, "runner: %d measurements requested, %d simulated, %d served from cache, %d insts measured (%d workers)\n",
-			s.Requests, s.Runs, s.CacheHits, s.MeasuredInsts, runner.Workers())
+		reportStats(runner)
 	}
+}
+
+// reportStats prints the runner's work accounting and, when a
+// checkpoint store is installed, the warm-image cache activity on
+// stderr (stderr only: -json output must stay byte-identical with and
+// without a checkpoint dir, which the CI determinism job enforces).
+func reportStats(runner *core.Runner) {
+	s := runner.Stats()
+	fmt.Fprintf(os.Stderr, "runner: %d measurements requested, %d simulated, %d served from cache, %d insts measured (%d workers)\n",
+		s.Requests, s.Runs, s.CacheHits, s.MeasuredInsts, runner.Workers())
+	cs := runner.Checkpoints()
+	if cs == nil {
+		return
+	}
+	c := cs.Stats()
+	fmt.Fprintf(os.Stderr, "checkpoints: %d requests, %d memory hits, %d disk hits, %d saved, %d failures (%s)\n",
+		c.Requests, c.MemoryHits, c.DiskHits, c.Saves, c.Failures, cs.Dir())
 }
 
 func emitJSON(doc *jsonDoc) {

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"cloudsuite/internal/sim/cache"
+	"cloudsuite/internal/sim/checkpoint"
 	"cloudsuite/internal/sim/counters"
 	"cloudsuite/internal/sim/engine"
 	"cloudsuite/internal/sim/sample"
@@ -75,6 +77,14 @@ type Options struct {
 	// Runner's memoization cache and the parallel figure drivers rely
 	// on.
 	Seed int64
+	// Checkpoints, when non-nil, routes the measurement through the
+	// warm-state checkpoint store: the run forks from a cached warm
+	// image when one exists for this configuration's warm-relevant
+	// options, and contributes its own image otherwise (see
+	// CheckpointStore). Restored runs are byte-identical to cold runs,
+	// so this field is deliberately excluded from the Runner's
+	// memoization key — it changes wall-clock time, never results.
+	Checkpoints *CheckpointStore
 }
 
 // DefaultOptions returns the paper's baseline measurement setup scaled
@@ -237,8 +247,42 @@ func Measure(w workloads.Workload, o Options) (*Measurement, error) {
 			}
 		}
 	}
+	// Warm-state checkpointing: fork from a cached warm image when one
+	// exists for this configuration's warm key, or capture one at the
+	// warm->measure boundary for later runs (and for concurrent runs
+	// waiting on this warm-up — the store is a mid-run singleflight).
+	var ckptKey string
+	if o.Checkpoints != nil {
+		ckptKey = checkpointKey(w.Name(), c)
+		snap, commit := o.Checkpoints.acquire(ckptKey)
+		if snap != nil {
+			cfg.Restore = snap
+		} else {
+			cfg.CheckpointKey = ckptKey
+			committed := false
+			cfg.Checkpoint = func(s *checkpoint.Snapshot) {
+				committed = true
+				commit(s)
+			}
+			// A run that errors before the warm boundary still owes the
+			// store a resolution, or waiters would block forever.
+			defer func() {
+				if !committed {
+					commit(nil)
+				}
+			}()
+		}
+	}
 	res, err := engine.Run(cfg, threads)
 	if err != nil {
+		if cfg.Restore != nil {
+			// Drop the bad image so later requests warm cold instead of
+			// retrying it, and tag the error: this run cannot retry
+			// itself (its generators are already consumed), but
+			// MeasureBench re-measures a fresh instance on this tag.
+			o.Checkpoints.invalidate(ckptKey, cfg.Restore)
+			return nil, &restoreError{key: ckptKey, err: err}
+		}
 		return nil, err
 	}
 	// Aggregate over the workload cores only: polluter cores are part of
@@ -352,9 +396,32 @@ func startPolluter(bytes uint64, id uint64, seed int64) *trace.ChanGen {
 	})
 }
 
-// MeasureBench creates a fresh instance of b and measures it.
+// restoreError marks a measurement that failed while starting from a
+// cached warm image (as opposed to failing on its own terms).
+type restoreError struct {
+	key string
+	err error
+}
+
+func (e *restoreError) Error() string {
+	return fmt.Sprintf("core: restoring warm checkpoint: %v", e.err)
+}
+
+func (e *restoreError) Unwrap() error { return e.err }
+
+// MeasureBench creates a fresh instance of b and measures it. If a
+// cached warm image fails to restore (a corrupt or incompatible
+// snapshot that slipped past the integrity checks), Measure has
+// already dropped the image; the measurement is retried on a fresh
+// instance and warms from cold — determinism guarantees the same
+// result either way. (Direct Measure callers surface the restore error
+// instead: a consumed workload instance cannot be re-run, but their
+// own retry warms cold because the image is gone.)
 func MeasureBench(b Bench, o Options) (*Measurement, error) {
 	m, err := Measure(b.New(), o)
+	if rerr := (*restoreError)(nil); errors.As(err, &rerr) && o.Checkpoints != nil {
+		m, err = Measure(b.New(), o)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: measuring %s: %w", b.Name, err)
 	}

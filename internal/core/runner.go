@@ -180,6 +180,7 @@ type Runner struct {
 
 	mu    sync.Mutex
 	cache map[measureKey]*cacheCell
+	ckpts *CheckpointStore
 	stats RunnerStats
 }
 
@@ -204,6 +205,26 @@ func (r *Runner) SetProgress(f ProgressFunc) {
 	r.mu.Lock()
 	r.progress = f
 	r.mu.Unlock()
+}
+
+// SetCheckpoints routes the Runner's measurements through a warm-state
+// checkpoint store: configurations that differ only in measurement-side
+// knobs fork from one warm image, and (with a disk-backed store) warm
+// images persist across processes. Requests whose Options already carry
+// a store keep it. Pass nil to disable. Restored runs are byte-
+// identical to cold ones, so the store never changes results — only
+// wall-clock time.
+func (r *Runner) SetCheckpoints(cs *CheckpointStore) {
+	r.mu.Lock()
+	r.ckpts = cs
+	r.mu.Unlock()
+}
+
+// Checkpoints returns the store installed by SetCheckpoints, if any.
+func (r *Runner) Checkpoints() *CheckpointStore {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ckpts
 }
 
 // Stats returns a snapshot of the runner's counters.
@@ -327,13 +348,22 @@ func (r *Runner) measureOne(req MeasureRequest) (*Measurement, bool, error) {
 	cell = &cacheCell{done: make(chan struct{})}
 	r.cache[key] = cell
 	r.stats.Runs++
+	ckpts := r.ckpts
 	r.mu.Unlock()
+
+	opts := req.Options
+	if opts.Checkpoints == nil {
+		opts.Checkpoints = ckpts
+	}
 
 	// A slot is held only while the simulation executes — never while
 	// waiting on another cell — so the Runner-wide bound cannot
-	// deadlock.
+	// deadlock. (A run may park briefly on the checkpoint store while a
+	// sibling finishes warming the shared image; the warmer holds its
+	// own slot and resolves the wait at its warm boundary, never the
+	// other way around, so that wait cannot cycle either.)
 	r.slots <- struct{}{}
-	cell.m, cell.err = MeasureBench(req.Bench, req.Options)
+	cell.m, cell.err = MeasureBench(req.Bench, opts)
 	<-r.slots
 	r.mu.Lock()
 	if cell.err != nil {

@@ -4,6 +4,8 @@
 // Nehalem/Westmere-class front-end of the Xeon X5670.
 package bpred
 
+import "cloudsuite/internal/sim/checkpoint"
+
 // Config sizes the predictor.
 type Config struct {
 	// GshareBits is log2 of the pattern history table size.
@@ -63,6 +65,92 @@ func nextPow2(n int) int {
 		p <<= 1
 	}
 	return p
+}
+
+// SaveState serializes the predictor's trained state: pattern history
+// table, global history register, and BTB contents. Both tables are
+// sparse-encoded against their reset values (PHT counters at weakly
+// not-taken, BTB slots empty): warming trains a small fraction of the
+// 64K-entry PHT, and dense tables would dominate snapshot size.
+func (p *Predictor) SaveState(w *checkpoint.Writer) {
+	w.Tag("bpred")
+	w.U64(p.history)
+	w.U32(uint32(len(p.pht)))
+	trained := uint32(0)
+	for _, v := range p.pht {
+		if v != 1 {
+			trained++
+		}
+	}
+	w.U32(trained)
+	for i, v := range p.pht {
+		if v != 1 {
+			w.U32(uint32(i))
+			w.U8(v)
+		}
+	}
+	w.U32(uint32(len(p.btbTag)))
+	filled := uint32(0)
+	for _, t := range p.btbTag {
+		if t != 0 {
+			filled++
+		}
+	}
+	w.U32(filled)
+	for i, t := range p.btbTag {
+		if t != 0 {
+			w.U32(uint32(i))
+			w.U64(t)
+			w.U64(p.btbTgt[i])
+		}
+	}
+}
+
+// LoadState restores state saved by SaveState into a predictor of
+// identical configuration; a mismatch is reported through the reader.
+func (p *Predictor) LoadState(r *checkpoint.Reader) {
+	r.Expect("bpred")
+	p.history = r.U64()
+	if n := int(r.U32()); r.Err() == nil && n != len(p.pht) {
+		r.Failf("bpred PHT size mismatch: snapshot has %d entries, predictor has %d", n, len(p.pht))
+		return
+	}
+	for i := range p.pht {
+		p.pht[i] = 1
+	}
+	trained := int(r.U32())
+	for k := 0; k < trained; k++ {
+		i := int(r.U32())
+		if r.Err() != nil {
+			return
+		}
+		if i >= len(p.pht) {
+			r.Failf("bpred PHT index %d out of range (%d entries)", i, len(p.pht))
+			return
+		}
+		p.pht[i] = r.U8()
+	}
+	if n := int(r.U32()); r.Err() == nil && n != len(p.btbTag) {
+		r.Failf("bpred BTB size mismatch: snapshot has %d entries, predictor has %d", n, len(p.btbTag))
+		return
+	}
+	for i := range p.btbTag {
+		p.btbTag[i] = 0
+		p.btbTgt[i] = 0
+	}
+	filled := int(r.U32())
+	for k := 0; k < filled; k++ {
+		i := int(r.U32())
+		if r.Err() != nil {
+			return
+		}
+		if i >= len(p.btbTag) {
+			r.Failf("bpred BTB index %d out of range (%d entries)", i, len(p.btbTag))
+			return
+		}
+		p.btbTag[i] = r.U64()
+		p.btbTgt[i] = r.U64()
+	}
 }
 
 func (p *Predictor) index(pc uint64) uint64 {

@@ -1,0 +1,83 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+)
+
+// sharingTraffic drives one System through a write/remote-read pattern
+// that produces read-write sharing events on the given line.
+func sharingTraffic(s *System, lineAddr uint64, rounds int) {
+	addr := lineAddr << LineShift
+	for i := 0; i < rounds; i++ {
+		s.AccessData(0, addr, true, false, int64(4*i))   // core 0 modifies
+		s.AccessData(2, addr, false, false, int64(4*i+1)) // socket-1 core reads
+		s.AccessData(2, addr, true, true, int64(4*i+2))   // and writes back (OS mode)
+		s.AccessData(0, addr, false, false, int64(4*i+3))
+	}
+}
+
+// TestDebugSharingHistogram verifies the per-System histogram counts
+// the lines behind read-write sharing hits.
+func TestDebugSharingHistogram(t *testing.T) {
+	s := NewSystem(testSystemConfig(2, 2))
+	s.EnableDebugSharing()
+	const line = uint64(0x1234)
+	sharingTraffic(s, line, 8)
+	h := s.DebugSharing()
+	if h == nil {
+		t.Fatal("EnableDebugSharing left the histogram nil")
+	}
+	if h[line] == 0 {
+		t.Fatalf("histogram recorded no sharing events for line %#x: %v", line, h)
+	}
+	var ctr uint64
+	for c := 0; c < s.Config().TotalCores(); c++ {
+		ctr += s.Ctr(c).SharedRWHitUser + s.Ctr(c).SharedRWHitOS
+	}
+	var hist uint64
+	for _, n := range h {
+		hist += n
+	}
+	if hist != ctr {
+		t.Fatalf("histogram total %d != sharing counters %d", hist, ctr)
+	}
+	// A fresh system histograms nothing until enabled.
+	s2 := NewSystem(testSystemConfig(2, 2))
+	sharingTraffic(s2, line, 1)
+	if s2.DebugSharing() != nil {
+		t.Fatal("histogram active without EnableDebugSharing")
+	}
+}
+
+// TestDebugSharingParallelSystems runs many Systems concurrently with
+// the histogram enabled — the parallel-Runner shape that made the old
+// package-level DebugSharing map a data race. Run under -race (CI
+// does), this test fails if the histogram ever becomes shared state
+// again.
+func TestDebugSharingParallelSystems(t *testing.T) {
+	const workers = 8
+	var wg sync.WaitGroup
+	results := make([]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := NewSystem(testSystemConfig(2, 2))
+			s.EnableDebugSharing()
+			sharingTraffic(s, uint64(0x4000+w), 64)
+			for _, n := range s.DebugSharing() {
+				results[w] += n
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, n := range results {
+		if n == 0 {
+			t.Fatalf("worker %d recorded no sharing events", w)
+		}
+		if n != results[0] {
+			t.Fatalf("worker %d recorded %d events, worker 0 recorded %d — systems interfered", w, n, results[0])
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package cache
+
+import (
+	"fmt"
+
+	"cloudsuite/internal/sim/checkpoint"
+)
+
+// This file serializes the memory system into warm-state checkpoints:
+// every cache array with its directory fields (sharers masks, Modified
+// owners), the per-core prefetcher state, the per-socket DRAM
+// controllers, and the per-core performance-counter blocks. Together
+// with the per-core TLB and branch-predictor state (saved by the
+// engine) this is the complete machine-visible effect of functional
+// warming, so a run restored from a snapshot is byte-identical to one
+// that warmed from cold.
+
+// SaveState serializes the cache's LRU clock and line array, including
+// the directory fields used by LLC instances. The encoding is sparse —
+// only valid ways are written, each prefixed by its array index — and
+// hand-rolled: an LLC holds hundreds of thousands of ways, typically
+// mostly empty at the warm boundary, and both a dense layout and a
+// reflection-based encoder would dominate checkpoint size and restore
+// cost (the payload is also content-hashed on every save and load).
+func (c *Cache) SaveState(w *checkpoint.Writer) {
+	w.Tag("cache")
+	w.U64(c.tick)
+	w.U32(uint32(len(c.lines)))
+	valid := uint32(0)
+	for i := range c.lines {
+		if c.lines[i].valid() {
+			valid++
+		}
+	}
+	w.U32(valid)
+	for i := range c.lines {
+		l := &c.lines[i]
+		if !l.valid() {
+			continue
+		}
+		w.U32(uint32(i))
+		w.U64(l.tag)
+		w.U64(l.lru)
+		w.U32(l.sharers)
+		w.U16(uint16(l.owner))
+		w.U8(uint8(l.flags))
+	}
+}
+
+// LoadState restores state saved by SaveState into a cache of identical
+// geometry; a mismatch is reported through the reader. Ways absent from
+// the snapshot reset to invalid (their residual fields are dead state:
+// every read path checks validity first and insert overwrites a way
+// wholesale).
+func (c *Cache) LoadState(r *checkpoint.Reader) {
+	r.Expect("cache")
+	c.tick = r.U64()
+	if n := int(r.U32()); r.Err() == nil && n != len(c.lines) {
+		r.Failf("cache geometry mismatch: snapshot has %d ways, cache holds %d", n, len(c.lines))
+		return
+	}
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	valid := int(r.U32())
+	if r.Err() == nil && valid > len(c.lines) {
+		r.Failf("cache snapshot has %d valid ways, cache holds %d", valid, len(c.lines))
+		return
+	}
+	for k := 0; k < valid; k++ {
+		i := int(r.U32())
+		if r.Err() != nil {
+			return
+		}
+		if i >= len(c.lines) {
+			r.Failf("cache snapshot way index %d out of range (%d ways)", i, len(c.lines))
+			return
+		}
+		l := &c.lines[i]
+		l.tag = r.U64()
+		l.lru = r.U64()
+		l.sharers = r.U32()
+		l.owner = int16(r.U16())
+		l.flags = lineFlags(r.U8())
+	}
+}
+
+// SaveState serializes the whole memory system: per-core private caches
+// and prefetchers, per-socket LLCs and DRAM controllers, and the
+// per-core counter blocks.
+func (s *System) SaveState(w *checkpoint.Writer) {
+	w.Tag("mem")
+	w.U32(uint32(s.cfg.Sockets))
+	w.U32(uint32(s.cfg.CoresPerSocket))
+	w.U64(s.accesses)
+	for i := range s.cores {
+		cc := &s.cores[i]
+		cc.l1i.SaveState(w)
+		cc.l1d.SaveState(w)
+		cc.l2.SaveState(w)
+		cc.stride.SaveState(w)
+		cc.dcu.SaveState(w)
+		w.Bool(cc.streamI != nil)
+		if cc.streamI != nil {
+			cc.streamI.SaveState(w)
+		}
+		s.ctrs[i].SaveState(w)
+	}
+	for _, llc := range s.llcs {
+		llc.SaveState(w)
+	}
+	for _, m := range s.mems {
+		m.SaveState(w)
+	}
+}
+
+// LoadState restores a memory system saved by SaveState into a system
+// built from the identical configuration. It returns an error on any
+// geometry or format mismatch, leaving partially-loaded state behind —
+// callers must discard the system on error.
+func (s *System) LoadState(r *checkpoint.Reader) error {
+	r.Expect("mem")
+	sockets, cps := int(r.U32()), int(r.U32())
+	if r.Err() == nil && (sockets != s.cfg.Sockets || cps != s.cfg.CoresPerSocket) {
+		return fmt.Errorf("cache: snapshot is for a %dx%d-core machine, system is %dx%d",
+			sockets, cps, s.cfg.Sockets, s.cfg.CoresPerSocket)
+	}
+	s.accesses = r.U64()
+	for i := range s.cores {
+		cc := &s.cores[i]
+		cc.l1i.LoadState(r)
+		cc.l1d.LoadState(r)
+		cc.l2.LoadState(r)
+		cc.stride.LoadState(r)
+		cc.dcu.LoadState(r)
+		hasStream := r.Bool()
+		if r.Err() == nil && hasStream != (cc.streamI != nil) {
+			return fmt.Errorf("cache: snapshot stream-prefetcher presence (%v) does not match configuration (%v)",
+				hasStream, cc.streamI != nil)
+		}
+		if cc.streamI != nil {
+			cc.streamI.LoadState(r)
+		}
+		s.ctrs[i].LoadState(r)
+	}
+	for _, llc := range s.llcs {
+		llc.LoadState(r)
+	}
+	for _, m := range s.mems {
+		m.LoadState(r)
+	}
+	return r.Err()
+}

@@ -120,6 +120,10 @@ type System struct {
 	// access (see invariants.go).
 	checkEvery int
 	accesses   uint64
+
+	// debugSharing, when non-nil, histograms read-write-shared lines
+	// (see EnableDebugSharing).
+	debugSharing map[uint64]uint64
 }
 
 // NewSystem builds the memory system.
@@ -392,8 +396,8 @@ func (s *System) countSharedRW(core int, lineAddr uint64, kernel bool) {
 	} else {
 		s.ctrs[core].SharedRWHitUser++
 	}
-	if DebugSharing != nil {
-		DebugSharing[lineAddr]++
+	if s.debugSharing != nil {
+		s.debugSharing[lineAddr]++
 	}
 }
 
@@ -769,9 +773,20 @@ func (s *System) prefetchL1(core int, lineAddr uint64, kernel bool, now int64) {
 	s.fillL1D(core, lineAddr, flagPrefetched, now)
 }
 
-// DebugSharing, when non-nil, histograms the lines that produce
-// read-write sharing hits (diagnostics only).
-var DebugSharing map[uint64]uint64
+// EnableDebugSharing makes the system histogram the lines that produce
+// read-write sharing hits (diagnostics only). The histogram is per
+// System — a package-level map here would be written concurrently by
+// every simulation of a parallel experiment Runner, a data race.
+func (s *System) EnableDebugSharing() {
+	if s.debugSharing == nil {
+		s.debugSharing = map[uint64]uint64{}
+	}
+}
+
+// DebugSharing returns the sharing histogram (nil unless
+// EnableDebugSharing was called). The map belongs to the System; it is
+// safe to read once the simulation driving the System has finished.
+func (s *System) DebugSharing() map[uint64]uint64 { return s.debugSharing }
 
 // LLCUtilization reports valid-line share of socket's LLC (diagnostics).
 func (s *System) LLCUtilization(socket int) float64 { return s.llcs[socket].Utilization() }

@@ -1,0 +1,187 @@
+package checkpoint
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleSnapshot(t *testing.T) *Snapshot {
+	t.Helper()
+	w := NewWriter()
+	w.Tag("head")
+	w.U8(7)
+	w.Bool(true)
+	w.U16(0xBEEF)
+	w.U32(0xDEADBEEF)
+	w.U64(1<<63 + 5)
+	w.I64(-42)
+	w.U64s([]uint64{1, 2, 3})
+	w.I64s([]int64{-1, 0, 9})
+	w.U8s([]byte{0xAA, 0xBB})
+	w.Tag("tail")
+	return w.Snapshot("bench=Test sockets=2")
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	s := sampleSnapshot(t)
+	r := s.Reader()
+	r.Expect("head")
+	if v := r.U8(); v != 7 {
+		t.Fatalf("U8 = %d", v)
+	}
+	if !r.Bool() {
+		t.Fatal("Bool = false")
+	}
+	if v := r.U16(); v != 0xBEEF {
+		t.Fatalf("U16 = %#x", v)
+	}
+	if v := r.U32(); v != 0xDEADBEEF {
+		t.Fatalf("U32 = %#x", v)
+	}
+	if v := r.U64(); v != 1<<63+5 {
+		t.Fatalf("U64 = %d", v)
+	}
+	if v := r.I64(); v != -42 {
+		t.Fatalf("I64 = %d", v)
+	}
+	u := make([]uint64, 3)
+	r.U64s(u)
+	if u[2] != 3 {
+		t.Fatalf("U64s = %v", u)
+	}
+	i := make([]int64, 3)
+	r.I64s(i)
+	if i[0] != -1 || i[2] != 9 {
+		t.Fatalf("I64s = %v", i)
+	}
+	b := make([]byte, 2)
+	r.U8s(b)
+	if b[0] != 0xAA || b[1] != 0xBB {
+		t.Fatalf("U8s = %v", b)
+	}
+	r.Expect("tail")
+	if err := r.Err(); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+func TestReaderTagMismatch(t *testing.T) {
+	s := sampleSnapshot(t)
+	r := s.Reader()
+	r.Expect("wrong")
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "tag mismatch") {
+		t.Fatalf("want tag mismatch error, got %v", err)
+	}
+	// The first error sticks; later reads stay inert.
+	if v := r.U64(); v != 0 {
+		t.Fatalf("read after error = %d, want 0", v)
+	}
+}
+
+func TestReaderLengthMismatch(t *testing.T) {
+	w := NewWriter()
+	w.U64s([]uint64{1, 2, 3})
+	s := w.Snapshot("k")
+	r := s.Reader()
+	dst := make([]uint64, 4)
+	r.U64s(dst)
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "length mismatch") {
+		t.Fatalf("want length mismatch error, got %v", err)
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	w := NewWriter()
+	w.U32(1)
+	s := w.Snapshot("k")
+	r := s.Reader()
+	r.U64()
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("want truncation error, got %v", err)
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	s := sampleSnapshot(t)
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Key() != s.Key() {
+		t.Fatalf("key = %q, want %q", d.Key(), s.Key())
+	}
+	if d.Hash() != s.Hash() {
+		t.Fatalf("hash mismatch after decode")
+	}
+	if d.Size() != s.Size() {
+		t.Fatalf("size = %d, want %d", d.Size(), s.Size())
+	}
+}
+
+func TestDecodeDetectsCorruption(t *testing.T) {
+	s := sampleSnapshot(t)
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-1] ^= 0xFF // flip a payload byte
+	if _, err := Decode(bytes.NewReader(raw)); err == nil || !strings.Contains(err.Error(), "hash mismatch") {
+		t.Fatalf("want hash mismatch, got %v", err)
+	}
+}
+
+func TestDecodeRejectsBadMagicAndVersion(t *testing.T) {
+	s := sampleSnapshot(t)
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := append([]byte(nil), buf.Bytes()...)
+	raw[0] = 'X'
+	if _, err := Decode(bytes.NewReader(raw)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("want magic error, got %v", err)
+	}
+	raw = append([]byte(nil), buf.Bytes()...)
+	raw[8] = 99 // version field
+	if _, err := Decode(bytes.NewReader(raw)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("want version error, got %v", err)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	s := sampleSnapshot(t)
+	path := filepath.Join(t.TempDir(), "warm.ckpt")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	d, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Key() != s.Key() || d.Hash() != s.Hash() {
+		t.Fatal("file round trip altered the snapshot")
+	}
+}
+
+func TestSnapshotHashIsContentHash(t *testing.T) {
+	w1 := NewWriter()
+	w1.U64(1)
+	w2 := NewWriter()
+	w2.U64(1)
+	a, b := w1.Snapshot("ka"), w2.Snapshot("kb")
+	if a.Hash() != b.Hash() {
+		t.Fatal("identical payloads must hash identically (key is not part of the content hash)")
+	}
+	w3 := NewWriter()
+	w3.U64(2)
+	if c := w3.Snapshot("ka"); c.Hash() == a.Hash() {
+		t.Fatal("different payloads must hash differently")
+	}
+}

@@ -10,6 +10,8 @@
 // computes them the same way.
 package counters
 
+import "cloudsuite/internal/sim/checkpoint"
+
 // Counters is one block of raw event counts. All counts are cumulative.
 // The zero value is ready to use.
 type Counters struct {
@@ -109,6 +111,21 @@ type Counters struct {
 	// socket's memory controller vs the other socket's (QPI hop).
 	DRAMReadLocal  uint64
 	DRAMReadRemote uint64
+}
+
+// SaveState serializes the counter block into a checkpoint. The block
+// is encoded as one fixed-size struct, so adding a counter field
+// changes the encoded size and stale snapshots fail to load instead of
+// misattributing events (bump checkpoint.Version on such changes).
+func (c *Counters) SaveState(w *checkpoint.Writer) {
+	w.Tag("ctrs")
+	w.Struct(c)
+}
+
+// LoadState restores a counter block saved by SaveState.
+func (c *Counters) LoadState(r *checkpoint.Reader) {
+	r.Expect("ctrs")
+	r.Struct(c)
 }
 
 // Add accumulates other into c field-by-field.

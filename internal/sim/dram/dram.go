@@ -5,6 +5,8 @@
 // is the basis of Figure 7 (off-chip bandwidth utilisation).
 package dram
 
+import "cloudsuite/internal/sim/checkpoint"
+
 // Config describes the memory system.
 type Config struct {
 	// Channels is the number of independent DDR3 channels.
@@ -50,6 +52,31 @@ func New(cfg Config) *Controller {
 
 // Config returns the controller's configuration.
 func (c *Controller) Config() Config { return c.cfg }
+
+// SaveState serializes the controller's queues (per-channel free
+// times), busy-cycle accounting, observation span, and read/write
+// counts into a checkpoint.
+func (c *Controller) SaveState(w *checkpoint.Writer) {
+	w.Tag("dram")
+	w.I64s(c.freeAt)
+	w.I64s(c.busy)
+	w.I64(c.start)
+	w.I64(c.lastCycle)
+	w.U64(c.reads)
+	w.U64(c.writes)
+}
+
+// LoadState restores state saved by SaveState into a controller of
+// identical channel count; a mismatch is reported through the reader.
+func (c *Controller) LoadState(r *checkpoint.Reader) {
+	r.Expect("dram")
+	r.I64s(c.freeAt)
+	r.I64s(c.busy)
+	c.start = r.I64()
+	c.lastCycle = r.I64()
+	c.reads = r.U64()
+	c.writes = r.U64()
+}
 
 func (c *Controller) channel(line uint64) int {
 	// Interleave consecutive lines across channels, like BIOS channel

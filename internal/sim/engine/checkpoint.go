@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"fmt"
+
+	"cloudsuite/internal/sim/cache"
+	"cloudsuite/internal/sim/checkpoint"
+)
+
+// This file implements warm-state checkpointing for the engine: the
+// machine half of a warm image is serialized at the warm->measure
+// boundary, and a restored run reaches the identical execution point by
+// loading that state while fast-forwarding the trace generators.
+//
+// The generator side is NOT serialized. Workload goroutines run in
+// lockstep with the simulator's pull order (see internal/trace), so the
+// emitters' RNG and stream positions — and all workload and OS-kernel
+// state behind them — are a pure function of the sequence of batch
+// pulls. The restore path therefore replays warmThread's exact pull
+// pattern (same per-thread order, same per-instruction peek/advance,
+// same buffer geometry) without touching the machine; after the skip,
+// every generator, buffer, and emitter sits precisely where it sat when
+// the snapshot was taken. The differential harness in internal/core
+// proves restore(save(warm)) + measure == warm + measure byte-for-byte.
+
+// saveMachine serializes the complete simulated-machine state at the
+// warm->measure boundary: the engine clock and per-context fetch-stream
+// state, each core's branch predictor and TLB hierarchy, and the whole
+// memory system (caches with directory state, prefetchers, per-core
+// counters, DRAM controllers).
+func saveMachine(cfg RunConfig, clock int64, cores []*core, mem *cache.System) *checkpoint.Snapshot {
+	w := checkpoint.NewWriter()
+	w.Tag("engine")
+	w.I64(cfg.WarmupInsts)
+	w.I64(clock)
+	w.U32(uint32(len(cores)))
+	for _, co := range cores {
+		w.U32(uint32(co.id))
+		w.U32(uint32(len(co.ctxs)))
+		for _, ctx := range co.ctxs {
+			w.U64(ctx.warmLine)
+			w.U64(ctx.warmPage)
+		}
+		co.bp.SaveState(w)
+		co.tlbs.SaveState(w)
+	}
+	mem.SaveState(w)
+	return w.Snapshot(cfg.CheckpointKey)
+}
+
+// restoreMachine loads a snapshot written by saveMachine into a
+// freshly-built machine of identical configuration. The caller is
+// responsible for fast-forwarding the generators (skipThread); this
+// function only restores machine state.
+func restoreMachine(snap *checkpoint.Snapshot, cfg RunConfig, cores []*core, mem *cache.System, clock *int64) error {
+	r := snap.Reader()
+	r.Expect("engine")
+	if wi := r.I64(); r.Err() == nil && wi != cfg.WarmupInsts {
+		return fmt.Errorf("engine: snapshot warmed %d instructions per thread, run wants %d", wi, cfg.WarmupInsts)
+	}
+	*clock = r.I64()
+	if n := int(r.U32()); r.Err() == nil && n != len(cores) {
+		return fmt.Errorf("engine: snapshot has %d active cores, run has %d", n, len(cores))
+	}
+	for _, co := range cores {
+		if id := int(r.U32()); r.Err() == nil && id != co.id {
+			return fmt.Errorf("engine: snapshot core id %d does not match run core %d", id, co.id)
+		}
+		if n := int(r.U32()); r.Err() == nil && n != len(co.ctxs) {
+			return fmt.Errorf("engine: snapshot has %d contexts on core %d, run has %d", n, co.id, len(co.ctxs))
+		}
+		for _, ctx := range co.ctxs {
+			ctx.warmLine = r.U64()
+			ctx.warmPage = r.U64()
+		}
+		co.bp.LoadState(r)
+		co.tlbs.LoadState(r)
+	}
+	if err := mem.LoadState(r); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	return r.Err()
+}
+
+// skipThread fast-forwards ctx by insts instructions without touching
+// any machine state. It mirrors warmThread's consumption pattern
+// exactly — one peek/advance per instruction through the same buffer —
+// so the sequence of batch pulls (and therefore the deterministic
+// workload-goroutine interleaving) is identical to the warm run the
+// snapshot was taken from, leaving the generator, its buffer, and the
+// emitter behind it in precisely the checkpointed position.
+func skipThread(ctx *context, insts int64) {
+	for fetched := int64(0); fetched < insts; fetched++ {
+		if _, ok := ctx.peek(); !ok {
+			return
+		}
+		ctx.advance()
+	}
+}

@@ -1,0 +1,187 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cloudsuite/internal/sim/cache"
+	"cloudsuite/internal/sim/checkpoint"
+	"cloudsuite/internal/trace"
+)
+
+// mixedStream builds a looped stream with loads, stores, branches, and
+// kernel instructions so warming exercises the caches, TLBs, branch
+// predictor, prefetchers, and DRAM controllers.
+func mixedStream(seed int64, span uint64, n int) trace.Generator {
+	rng := rand.New(rand.NewSource(seed))
+	insts := make([]trace.Inst, n)
+	lines := span / 64
+	for i := range insts {
+		pc := 0x400000 + uint64(i%512)*4
+		kernel := i%7 == 0
+		switch i % 5 {
+		case 0, 1:
+			insts[i] = trace.Inst{
+				PC: pc, Op: trace.OpLoad,
+				Addr: 0x4000_0000 + uint64(rng.Int63n(int64(lines)))*64,
+				Size: 8, Kernel: kernel,
+			}
+		case 2:
+			insts[i] = trace.Inst{
+				PC: pc, Op: trace.OpStore,
+				Addr: 0x4000_0000 + uint64(rng.Int63n(int64(lines)))*64,
+				Size: 8, Kernel: kernel,
+			}
+		case 3:
+			taken := rng.Intn(3) == 0
+			insts[i] = trace.Inst{PC: pc, Op: trace.OpBranch, Taken: taken, Target: pc + 16, Kernel: kernel}
+		default:
+			insts[i] = trace.Inst{PC: pc, Op: trace.OpALU, DepA: 1, Kernel: kernel}
+		}
+	}
+	return &trace.LoopGen{Insts: insts}
+}
+
+// twoSocketThreads builds a fresh, deterministic 2-socket thread set.
+// Threads share part of their address span so warming leaves directory
+// state (sharers, owners) behind for the snapshot to carry.
+func twoSocketThreads() []Thread {
+	return []Thread{
+		{Gen: mixedStream(1, 1 << 22, 4096), Core: 0, Measured: true},
+		{Gen: mixedStream(2, 1 << 22, 4096), Core: 1, Measured: true},
+		{Gen: mixedStream(3, 1 << 22, 4096), Core: 6, Measured: true},
+		{Gen: mixedStream(4, 1 << 22, 4096), Core: 7, Measured: true},
+	}
+}
+
+func twoSocketConfig() RunConfig {
+	mem := cache.DefaultSystemConfig()
+	mem.Sockets = 2
+	return RunConfig{
+		Core:         DefaultCoreConfig(),
+		Mem:          mem,
+		WarmupInsts:  30_000,
+		MeasureInsts: 8_000,
+		MaxCycles:    20_000_000,
+	}
+}
+
+func TestCheckpointRestoreMatchesWarmRun(t *testing.T) {
+	cold, err := Run(twoSocketConfig(), twoSocketThreads())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var snap *checkpoint.Snapshot
+	cfg := twoSocketConfig()
+	cfg.Checkpoint = func(s *checkpoint.Snapshot) { snap = s }
+	cfg.CheckpointKey = "engine-test"
+	saved, err := Run(cfg, twoSocketThreads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("Checkpoint callback never fired")
+	}
+	if snap.Key() != "engine-test" {
+		t.Fatalf("snapshot key = %q", snap.Key())
+	}
+	if !reflect.DeepEqual(cold, saved) {
+		t.Fatal("taking a checkpoint changed the measurement")
+	}
+
+	rcfg := twoSocketConfig()
+	rcfg.Restore = snap
+	restored, err := Run(rcfg, twoSocketThreads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, restored) {
+		t.Fatalf("restored run differs from cold run:\ncold     = %+v\nrestored = %+v", cold.Total, restored.Total)
+	}
+}
+
+func TestCheckpointRestoreMatchesSampledRun(t *testing.T) {
+	sampled := func(c RunConfig) RunConfig {
+		c.Intervals = 3
+		c.IntervalWarmInsts = 4_000
+		c.DetailWarmInsts = 500
+		c.MeasureInsts = 2_000
+		return c
+	}
+
+	cold, err := Run(sampled(twoSocketConfig()), twoSocketThreads())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var snap *checkpoint.Snapshot
+	cfg := sampled(twoSocketConfig())
+	cfg.Checkpoint = func(s *checkpoint.Snapshot) { snap = s }
+	if _, err := Run(cfg, twoSocketThreads()); err != nil {
+		t.Fatal(err)
+	}
+
+	rcfg := sampled(twoSocketConfig())
+	rcfg.Restore = snap
+	restored, err := Run(rcfg, twoSocketThreads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored.Intervals) != len(cold.Intervals) {
+		t.Fatalf("restored run has %d intervals, cold has %d", len(restored.Intervals), len(cold.Intervals))
+	}
+	if !reflect.DeepEqual(cold, restored) {
+		t.Fatal("restored sampled run differs from cold sampled run")
+	}
+}
+
+func TestCheckpointSnapshotIsDeterministic(t *testing.T) {
+	take := func() *checkpoint.Snapshot {
+		var snap *checkpoint.Snapshot
+		cfg := twoSocketConfig()
+		cfg.Checkpoint = func(s *checkpoint.Snapshot) { snap = s }
+		if _, err := Run(cfg, twoSocketThreads()); err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+	a, b := take(), take()
+	if a.Hash() != b.Hash() {
+		t.Fatal("identical warm runs produced different snapshot content hashes")
+	}
+}
+
+func TestRestoreRejectsMismatchedConfiguration(t *testing.T) {
+	var snap *checkpoint.Snapshot
+	cfg := twoSocketConfig()
+	cfg.Checkpoint = func(s *checkpoint.Snapshot) { snap = s }
+	if _, err := Run(cfg, twoSocketThreads()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm budget mismatch.
+	bad := twoSocketConfig()
+	bad.WarmupInsts = 10_000
+	bad.Restore = snap
+	if _, err := Run(bad, twoSocketThreads()); err == nil || !strings.Contains(err.Error(), "warmed") {
+		t.Fatalf("warm-budget mismatch not rejected: %v", err)
+	}
+
+	// Machine geometry mismatch (different LLC size changes line counts).
+	bad = twoSocketConfig()
+	bad.Mem.LLC.SizeBytes = 6 << 20
+	bad.Restore = snap
+	if _, err := Run(bad, twoSocketThreads()); err == nil {
+		t.Fatal("LLC geometry mismatch not rejected")
+	}
+
+	// Thread-set mismatch (fewer active cores).
+	bad = twoSocketConfig()
+	bad.Restore = snap
+	if _, err := Run(bad, twoSocketThreads()[:2]); err == nil || !strings.Contains(err.Error(), "cores") {
+		t.Fatalf("core-count mismatch not rejected: %v", err)
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"cloudsuite/internal/sim/bpred"
 	"cloudsuite/internal/sim/cache"
+	"cloudsuite/internal/sim/checkpoint"
 	"cloudsuite/internal/sim/counters"
 	"cloudsuite/internal/sim/tlb"
 	"cloudsuite/internal/trace"
@@ -102,6 +103,28 @@ type RunConfig struct {
 	// run early (adaptive sampling). The callback sees deterministic
 	// inputs, so early stopping keeps runs bit-reproducible per seed.
 	StopSampling func(done []IntervalResult) bool
+
+	// Checkpoint, when non-nil, is invoked once at the warm->measure
+	// boundary (after WarmupInsts of functional warming, before the
+	// first timed window) with a snapshot of the complete simulated-
+	// machine state. It is not invoked on restored runs. The callback
+	// runs on the simulation goroutine; a slow callback delays the
+	// measurement but cannot change its result.
+	Checkpoint func(*checkpoint.Snapshot)
+	// CheckpointKey is the identity string recorded in snapshots taken
+	// by this run; restore-side caches use it to name the warm-relevant
+	// configuration the image belongs to.
+	CheckpointKey string
+	// Restore, when non-nil, starts the run from the given warm
+	// snapshot instead of warming from cold: the trace generators are
+	// fast-forwarded WarmupInsts per thread — re-running the workload
+	// deterministically so the emitters' RNG, stream positions, and all
+	// workload/OS-model state reach the warm point — while the machine
+	// state loads from the snapshot. The snapshot must come from a run
+	// with identical warm-relevant configuration (machine, threads, and
+	// WarmupInsts); mismatches fail with an error. A restored run is
+	// byte-identical to the warm run it forked from.
+	Restore *checkpoint.Snapshot
 }
 
 // IntervalResult is one timed measurement window of a sampled run: the
@@ -309,11 +332,27 @@ func Run(cfg RunConfig, threads []Thread) (*Result, error) {
 	// (cfg.Intervals >= 1) repeats the warm/measure alternation per
 	// interval; the contiguous mode is the one-window special case of
 	// the same loop, cycle-for-cycle identical to the pre-sampling
-	// engine.
+	// engine. A restored run skips the machine side of warming entirely:
+	// generators fast-forward through the identical pull sequence and
+	// the warmed machine state loads from the snapshot.
 	clock := int64(0)
-	for _, co := range cores {
-		for _, ctx := range co.ctxs {
-			co.warmThread(ctx, mem, cfg.WarmupInsts, &clock)
+	if cfg.Restore != nil {
+		for _, co := range cores {
+			for _, ctx := range co.ctxs {
+				skipThread(ctx, cfg.WarmupInsts)
+			}
+		}
+		if err := restoreMachine(cfg.Restore, cfg, cores, mem, &clock); err != nil {
+			return nil, err
+		}
+	} else {
+		for _, co := range cores {
+			for _, ctx := range co.ctxs {
+				co.warmThread(ctx, mem, cfg.WarmupInsts, &clock)
+			}
+		}
+		if cfg.Checkpoint != nil {
+			cfg.Checkpoint(saveMachine(cfg, clock, cores, mem))
 		}
 	}
 

@@ -1,5 +1,7 @@
 package prefetch
 
+import "cloudsuite/internal/sim/checkpoint"
+
 // Instruction prefetchers. The paper finds the next-line instruction
 // prefetchers of modern cores ineffective for scale-out workloads
 // (Section 4.1: "complex non-sequential access patterns that are not
@@ -28,7 +30,14 @@ func (NextLineI) OnMiss(lineAddr uint64) []uint64 {
 // maps a miss line to the sequence of lines that followed it last time.
 type StreamI struct {
 	// history maps a line to the lines that followed its last miss.
-	next    map[uint64][streamIDepth]uint64
+	next map[uint64][streamIDepth]uint64
+	// order lists the keys of next in first-insertion order (order[head:]
+	// are live); the bounded history evicts the oldest entry, a
+	// deterministic FIFO. A hash-map victim would tie the prefetcher's
+	// behaviour — and therefore measurement results and checkpoint
+	// contents — to Go's randomized map iteration order.
+	head    int
+	order   []uint64
 	recent  [streamIDepth + 1]uint64
 	filled  int
 	maxEnts int
@@ -45,6 +54,25 @@ func NewStreamI(maxEntries int) *StreamI {
 	return &StreamI{next: make(map[uint64][streamIDepth]uint64, maxEntries), maxEnts: maxEntries}
 }
 
+// record installs head -> succ in the bounded history, evicting the
+// oldest entry when full.
+func (s *StreamI) record(head uint64, succ [streamIDepth]uint64) {
+	if _, exists := s.next[head]; !exists {
+		if len(s.next) >= s.maxEnts {
+			victim := s.order[s.head]
+			delete(s.next, victim)
+			s.head++
+			// Amortized compaction keeps the dead prefix bounded.
+			if s.head > len(s.order)/2 {
+				s.order = append(s.order[:0], s.order[s.head:]...)
+				s.head = 0
+			}
+		}
+		s.order = append(s.order, head)
+	}
+	s.next[head] = succ
+}
+
 // OnMiss records the miss and returns the replay lines for lineAddr's
 // stream, if one is known.
 func (s *StreamI) OnMiss(lineAddr uint64) []uint64 {
@@ -54,15 +82,7 @@ func (s *StreamI) OnMiss(lineAddr uint64) []uint64 {
 		head := s.recent[0]
 		var succ [streamIDepth]uint64
 		copy(succ[:], s.recent[1:])
-		if len(s.next) >= s.maxEnts {
-			// Bounded history: drop an arbitrary entry (hash-map victim),
-			// approximating a finite associative history table.
-			for k := range s.next {
-				delete(s.next, k)
-				break
-			}
-		}
-		s.next[head] = succ
+		s.record(head, succ)
 		copy(s.recent[:], s.recent[1:])
 		s.recent[len(s.recent)-1] = lineAddr
 	} else {
@@ -80,4 +100,56 @@ func (s *StreamI) OnMiss(lineAddr uint64) []uint64 {
 		return out
 	}
 	return nil
+}
+
+// SaveState serializes the recorded miss streams. The history table is
+// written in insertion order (the live suffix of order), which both
+// yields a canonical byte encoding — the content hash of two identical
+// warm states matches — and lets LoadState reconstruct the FIFO
+// eviction order exactly.
+func (s *StreamI) SaveState(w *checkpoint.Writer) {
+	w.Tag("streami")
+	w.I64(int64(s.filled))
+	for _, v := range s.recent {
+		w.U64(v)
+	}
+	live := s.order[s.head:]
+	w.U32(uint32(len(live)))
+	for _, k := range live {
+		w.U64(k)
+		succ := s.next[k]
+		for _, v := range succ {
+			w.U64(v)
+		}
+	}
+}
+
+// LoadState restores state saved by SaveState, rebuilding the history
+// table and its eviction order.
+func (s *StreamI) LoadState(r *checkpoint.Reader) {
+	r.Expect("streami")
+	s.filled = int(r.I64())
+	for i := range s.recent {
+		s.recent[i] = r.U64()
+	}
+	n := int(r.U32())
+	if n > s.maxEnts {
+		r.Failf("stream-prefetcher history has %d entries, table holds %d", n, s.maxEnts)
+		return
+	}
+	s.head = 0
+	s.order = make([]uint64, 0, n)
+	s.next = make(map[uint64][streamIDepth]uint64, n)
+	for i := 0; i < n; i++ {
+		k := r.U64()
+		var succ [streamIDepth]uint64
+		for j := range succ {
+			succ[j] = r.U64()
+		}
+		if r.Err() != nil {
+			return
+		}
+		s.order = append(s.order, k)
+		s.next[k] = succ
+	}
 }

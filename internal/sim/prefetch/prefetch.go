@@ -12,6 +12,8 @@
 // Figure 5 of the paper toggles exactly these units.
 package prefetch
 
+import "cloudsuite/internal/sim/checkpoint"
+
 // AdjacentLine returns the buddy line of lineAddr within its aligned
 // 128-byte pair.
 func AdjacentLine(lineAddr uint64) uint64 { return lineAddr ^ 1 }
@@ -46,6 +48,44 @@ func NewStride(streams int) *Stride {
 		streams = 16
 	}
 	return &Stride{streams: make([]stream, streams), Degree: 2, Confidence: 2}
+}
+
+// SaveState serializes the detector's stream table and LRU clock.
+// Degree and Confidence are configuration, not warm state, and are not
+// saved.
+func (s *Stride) SaveState(w *checkpoint.Writer) {
+	w.Tag("stride")
+	w.U64(s.clock)
+	w.U32(uint32(len(s.streams)))
+	for i := range s.streams {
+		st := &s.streams[i]
+		w.U64(st.page)
+		w.U32(uint32(st.lastOff))
+		w.U32(uint32(st.dir))
+		w.U32(uint32(st.conf))
+		w.U64(st.used)
+		w.Bool(st.valid)
+	}
+}
+
+// LoadState restores state saved by SaveState into a detector with the
+// same stream count; a mismatch is reported through the reader.
+func (s *Stride) LoadState(r *checkpoint.Reader) {
+	r.Expect("stride")
+	s.clock = r.U64()
+	if n := int(r.U32()); r.Err() == nil && n != len(s.streams) {
+		r.Failf("stride detector has %d streams, snapshot has %d", len(s.streams), n)
+		return
+	}
+	for i := range s.streams {
+		st := &s.streams[i]
+		st.page = r.U64()
+		st.lastOff = int32(r.U32())
+		st.dir = int32(r.U32())
+		st.conf = int32(r.U32())
+		st.used = r.U64()
+		st.valid = r.Bool()
+	}
 }
 
 // Observe feeds one demand line access to the detector and returns the
@@ -116,6 +156,20 @@ func (s *Stride) Observe(lineAddr uint64) []uint64 {
 type DCU struct {
 	lastLine uint64
 	runs     int
+}
+
+// SaveState serializes the streamer's run detector.
+func (d *DCU) SaveState(w *checkpoint.Writer) {
+	w.Tag("dcu")
+	w.U64(d.lastLine)
+	w.I64(int64(d.runs))
+}
+
+// LoadState restores state saved by SaveState.
+func (d *DCU) LoadState(r *checkpoint.Reader) {
+	r.Expect("dcu")
+	d.lastLine = r.U64()
+	d.runs = int(r.I64())
 }
 
 // Observe feeds one L1-D demand access and returns the line to prefetch,

@@ -1,0 +1,123 @@
+package sample
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge cases of the estimator API: degenerate sample counts,
+// zero-variance vectors, heterogeneous Combine inputs, and adaptive
+// stopping that never converges. These are the inputs the measurement
+// layer produces at the boundaries (single-interval runs, perfectly
+// deterministic metrics, entries mixing sampled and contiguous
+// members, adaptive sweeps over noisy metrics).
+
+func TestEstimateSingleSample(t *testing.T) {
+	e := FromSamples([]float64{4.2})
+	if e.N != 1 || e.Mean != 4.2 {
+		t.Fatalf("n=1 estimate = %+v", e)
+	}
+	// A single sample carries no spread information: the CI must be a
+	// point, not NaN (the n-1 variance denominator would divide by 0).
+	if e.StdErr != 0 || e.Half != 0 {
+		t.Fatalf("n=1 estimate claims spread: %+v", e)
+	}
+	if e.RelErr() != 0 {
+		t.Fatalf("n=1 RelErr = %g, want 0", e.RelErr())
+	}
+	if !e.Contains(4.2) || e.Contains(4.2000001) {
+		t.Fatal("n=1 CI must degenerate to exactly the point")
+	}
+	if p := Point(4.2); p != e {
+		t.Fatalf("Point(4.2) = %+v != FromSamples([4.2]) = %+v", p, e)
+	}
+}
+
+func TestEstimateZeroVariance(t *testing.T) {
+	vals := []float64{3, 3, 3, 3, 3, 3}
+	e := FromSamples(vals)
+	if e.N != 6 || e.Mean != 3 {
+		t.Fatalf("estimate = %+v", e)
+	}
+	if e.StdErr != 0 || e.Half != 0 {
+		t.Fatalf("zero-variance samples claim spread: %+v", e)
+	}
+	if e.Lo() != 3 || e.Hi() != 3 {
+		t.Fatalf("CI = [%g, %g], want point at 3", e.Lo(), e.Hi())
+	}
+	// Zero variance at zero mean: RelErr must be 0 (converged), not NaN.
+	z := FromSamples([]float64{0, 0, 0, 0})
+	if z.RelErr() != 0 {
+		t.Fatalf("all-zero RelErr = %g, want 0", z.RelErr())
+	}
+	if !Stop([]float64{3, 3, 3, 3}, 1e-9) {
+		t.Fatal("zero-variance samples satisfy every positive target")
+	}
+}
+
+func TestCombineEmptyAndSingle(t *testing.T) {
+	if e := Combine(nil); e != (Estimate{}) {
+		t.Fatalf("Combine(nil) = %+v, want zero", e)
+	}
+	if e := Combine([]Estimate{}); e != (Estimate{}) {
+		t.Fatalf("Combine(empty) = %+v, want zero", e)
+	}
+	a := Estimate{N: 5, Mean: 2, StdErr: 0.3, Half: 0.7}
+	if e := Combine([]Estimate{a}); e != a {
+		t.Fatalf("Combine of one = %+v, want the input %+v", e, a)
+	}
+}
+
+// TestCombineMismatchedInputs mixes a contiguous member (a zero-spread
+// point) with sampled members of different interval counts — the shape
+// EntryResult.CI produces when an entry's members use different
+// measurement modes.
+func TestCombineMismatchedInputs(t *testing.T) {
+	point := Point(2)
+	sampled := Estimate{N: 8, Mean: 4, StdErr: 0.3, Half: 0.6}
+	short := Estimate{N: 2, Mean: 6, StdErr: 0.4, Half: 0.8}
+	c := Combine([]Estimate{point, sampled, short})
+	if c.N != 11 {
+		t.Fatalf("combined N = %d, want 11", c.N)
+	}
+	if c.Mean != 4 {
+		t.Fatalf("combined mean = %g, want mean of means 4", c.Mean)
+	}
+	wantHalf := math.Sqrt(0.6*0.6+0.8*0.8) / 3
+	if math.Abs(c.Half-wantHalf) > 1e-12 {
+		t.Fatalf("combined half = %g, want %g (point contributes nothing)", c.Half, wantHalf)
+	}
+	wantSE := math.Sqrt(0.3*0.3+0.4*0.4) / 3
+	if math.Abs(c.StdErr-wantSE) > 1e-12 {
+		t.Fatalf("combined stderr = %g, want %g", c.StdErr, wantSE)
+	}
+}
+
+// TestStopNeverReached: adaptive sampling over a persistently noisy
+// metric must keep refusing to stop no matter how many intervals
+// accumulate (the schedule's Intervals cap is the only bound), and
+// pathological means must not trick it.
+func TestStopNeverReached(t *testing.T) {
+	// Alternating spread keeps RelErr roughly constant (~CI/mean of the
+	// alternating pattern) as n grows; a 0.1% target is never met.
+	vals := make([]float64, 0, 64)
+	for n := 1; n <= 64; n++ {
+		vals = append(vals, 10+float64(n%2)*4-2)
+		if Stop(vals, 0.001) {
+			t.Fatalf("stopped at n=%d on persistently noisy samples (relerr %g)", n, FromSamples(vals).RelErr())
+		}
+	}
+	// Zero mean with spread: RelErr is +Inf, so no positive target is
+	// ever reached.
+	zeroMean := []float64{-1, 1, -1, 1, -1, 1}
+	if !math.IsInf(FromSamples(zeroMean).RelErr(), 1) {
+		t.Fatalf("zero-mean RelErr = %g, want +Inf", FromSamples(zeroMean).RelErr())
+	}
+	if Stop(zeroMean, 0.5) {
+		t.Fatal("stopped on a zero-mean metric with spread")
+	}
+	// Negative targets behave like disabled adaptive mode.
+	if Stop([]float64{5, 5, 5, 5}, -0.1) {
+		t.Fatal("negative target must never stop")
+	}
+}

@@ -5,6 +5,8 @@
 // the paper's accounting (Section 3.1).
 package tlb
 
+import "cloudsuite/internal/sim/checkpoint"
+
 // Config sizes one TLB.
 type Config struct {
 	Entries int
@@ -76,6 +78,24 @@ func (t *TLB) Lookup(addr uint64) bool {
 	return false
 }
 
+// SaveState serializes the TLB's warm contents (tags, LRU stamps, and
+// the LRU clock) into a checkpoint.
+func (t *TLB) SaveState(w *checkpoint.Writer) {
+	w.Tag("tlb")
+	w.U64(t.tick)
+	w.U64s(t.tags)
+	w.U64s(t.stamps)
+}
+
+// LoadState restores state saved by SaveState into a TLB of identical
+// geometry; a mismatch is reported through the reader.
+func (t *TLB) LoadState(r *checkpoint.Reader) {
+	r.Expect("tlb")
+	t.tick = r.U64()
+	r.U64s(t.tags)
+	r.U64s(t.stamps)
+}
+
 // Hierarchy bundles the first-level I/D TLBs with the shared second
 // level, mirroring the measured machine.
 type Hierarchy struct {
@@ -97,6 +117,20 @@ func NewHierarchy() *Hierarchy {
 		WalkCycles: 30,
 		L2Cycles:   7,
 	}
+}
+
+// SaveState serializes all three TLBs of the hierarchy.
+func (h *Hierarchy) SaveState(w *checkpoint.Writer) {
+	h.ITLB.SaveState(w)
+	h.DTLB.SaveState(w)
+	h.STLB.SaveState(w)
+}
+
+// LoadState restores all three TLBs of the hierarchy.
+func (h *Hierarchy) LoadState(r *checkpoint.Reader) {
+	h.ITLB.LoadState(r)
+	h.DTLB.LoadState(r)
+	h.STLB.LoadState(r)
 }
 
 // TranslateI translates an instruction fetch and returns the added

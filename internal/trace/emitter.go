@@ -101,6 +101,7 @@ type Emitter struct {
 	cfg   EmitterConfig
 	rng   *rand.Rand
 	buf   []Inst
+	alt   []Inst // spare batch buffer, swapped with buf at flush
 	n     int
 	seq   int64 // absolute index of the next instruction
 	ch    chan<- []Inst
@@ -137,6 +138,7 @@ func newEmitter(cfg EmitterConfig, ch chan<- []Inst, gate, stop <-chan struct{})
 		cfg:  cfg,
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
 		buf:  make([]Inst, cfg.BatchLen),
+		alt:  make([]Inst, cfg.BatchLen),
 		ch:   ch,
 		gate: gate,
 		stop: stop,
@@ -186,7 +188,12 @@ func (e *Emitter) flush() {
 	// Lockstep: pause until the next batch is requested so no workload
 	// code runs ahead of the simulator.
 	e.await()
-	e.buf = make([]Inst, e.cfg.BatchLen)
+	// Double buffering instead of a fresh allocation per batch: the
+	// consumer requests batch k+1 only after exhausting batch k, so by
+	// the time this flush returns (a k+1 request arrived) the buffer of
+	// batch k-1 — the one swapped out here — is no longer referenced.
+	// Batch k itself stays untouched in the other buffer.
+	e.buf, e.alt = e.alt, e.buf
 	e.n = 0
 }
 
