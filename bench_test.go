@@ -403,3 +403,34 @@ func BenchmarkInstructionPrefetchStudy(b *testing.B) {
 			r.Label, r.MPKINone, r.MPKINextLine, r.MPKIStream)
 	})
 }
+
+// BenchmarkScalingThroughput measures simulator throughput (simulated
+// committed instructions per wall-clock second) as the machine grows
+// from 8 to 64 cores on the scaled 16-core-per-socket grid — the
+// BENCH_scaling.json data source. Coherence invariants are audited
+// during every run, so a passing benchmark doubles as a directory
+// health check at scale.
+func BenchmarkScalingThroughput(b *testing.B) {
+	wb, ok := cloudsuite.FindBench("Web Search")
+	if !ok {
+		b.Fatal("Web Search bench missing")
+	}
+	for _, cores := range []int{8, 16, 32, 48, 64} {
+		b.Run(fmt.Sprintf("cores=%d", cores), func(b *testing.B) {
+			o := benchOptions()
+			o.Cores = cores
+			o.CoresPerSocket = 16
+			o.Sockets = (cores + 15) / 16
+			o.InvariantChecks = 5000
+			var simInsts uint64
+			for i := 0; i < b.N; i++ {
+				m, err := cloudsuite.MeasureBench(wb, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				simInsts += m.Commits()
+			}
+			b.ReportMetric(float64(simInsts)/b.Elapsed().Seconds(), "sim-insts/s")
+		})
+	}
+}

@@ -5,9 +5,10 @@
 // Usage:
 //
 //	cloudsuite -list
-//	cloudsuite -bench "Web Search" [-cores 4] [-sockets 2] [-smt] [-split]
-//	           [-pollute 6] [-warmup 400000] [-measure 120000] [-seed 1]
-//	           [-sample] [-intervals 8] [-relerr 0.05] [-checkpoint-dir DIR]
+//	cloudsuite -bench "Web Search" [-cores 4] [-sockets 2] [-cores-per-socket 16]
+//	           [-smt] [-split] [-pollute 6] [-warmup 400000] [-measure 120000]
+//	           [-seed 1] [-sample] [-intervals 8] [-relerr 0.05]
+//	           [-invariants 1000] [-checkpoint-dir DIR]
 //	cloudsuite -bench "Web Search,Data Serving" [-parallel 4] [-progress]
 //	cloudsuite -bench all
 //
@@ -24,6 +25,11 @@
 // -checkpoint-dir enables warm-state checkpointing: runs fork from
 // cached warm images (persisted in DIR across invocations) instead of
 // re-executing functional warming, byte-identically to a cold run.
+// -sockets and -cores-per-socket select the machine grid: the directory
+// tracks up to 256 cores, so scaled machines like 4x16 or 8x32 run
+// directly. -invariants N audits the full coherence state (directory
+// consistency, inclusion, socket locality) every N memory accesses —
+// an observer only, measurements are unchanged.
 package main
 
 import (
@@ -37,15 +43,17 @@ import (
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list benchmarks and exit")
-		bench    = flag.String("bench", "Web Search", `benchmark name, comma-separated names, or "all"`)
-		cores    = flag.Int("cores", 4, "workload cores")
-		sockets  = flag.Int("sockets", 1, "sockets to spread the cores over (NUMA machine; >= 2 implies -split placement)")
-		smt      = flag.Bool("smt", false, "two threads per core")
-		split    = flag.Bool("split", false, "split cores across two sockets")
-		pollute  = flag.Int("pollute", 0, "LLC MB occupied by polluter threads")
-		warmup   = flag.Int64("warmup", 400_000, "per-thread warm-up instructions")
-		measure  = flag.Int64("measure", 120_000, "per-thread measured instructions")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		bench     = flag.String("bench", "Web Search", `benchmark name, comma-separated names, or "all"`)
+		cores     = flag.Int("cores", 4, "workload cores")
+		sockets   = flag.Int("sockets", 1, "sockets to spread the cores over (NUMA machine; >= 2 implies -split placement)")
+		cps       = flag.Int("cores-per-socket", 0, "cores per socket (0 = the Table-1 six; larger values scale the chip)")
+		invar     = flag.Int("invariants", 0, "check coherence invariants every N memory accesses (0 = off)")
+		smt       = flag.Bool("smt", false, "two threads per core")
+		split     = flag.Bool("split", false, "split cores across two sockets")
+		pollute   = flag.Int("pollute", 0, "LLC MB occupied by polluter threads")
+		warmup    = flag.Int64("warmup", 400_000, "per-thread warm-up instructions")
+		measure   = flag.Int64("measure", 120_000, "per-thread measured instructions")
 		seed      = flag.Int64("seed", 1, "random seed")
 		parallel  = flag.Int("parallel", 0, "measurement worker-pool width (0 = GOMAXPROCS)")
 		progress  = flag.Bool("progress", false, "report measurement progress on stderr")
@@ -69,9 +77,11 @@ func main() {
 		os.Exit(1)
 	}
 	o := core.Options{
-		Cores: *cores, Sockets: *sockets, SMT: *smt, SplitSockets: *split,
+		Cores: *cores, Sockets: *sockets, CoresPerSocket: *cps,
+		SMT: *smt, SplitSockets: *split,
 		PolluteBytes: uint64(*pollute) << 20,
 		WarmupInsts:  *warmup, MeasureInsts: *measure, Seed: *seed,
+		InvariantChecks: *invar,
 	}
 	if *sampleF || *intervals > 0 || *relerr > 0 {
 		o.Sampling = core.DefaultSampling()

@@ -5,12 +5,16 @@
 // Usage:
 //
 //	figures [-only 1,3,7] [-fig scaling] [-quick] [-seed 1] [-parallel 4] [-progress]
-//	        [-sample] [-intervals 8] [-relerr 0.05] [-json] [-checkpoint-dir DIR]
+//	        [-sample] [-intervals 8] [-relerr 0.05] [-invariants 1000] [-json]
+//	        [-checkpoint-dir DIR]
 //
 // -only selects numbered figures; -fig selects named experiments beyond
 // the paper's figures (currently "scaling", the NUMA scale-up study
-// sweeping 1-12 cores over 1-2 sockets). The two compose: selecting
-// anything runs only the selection.
+// sweeping from a single core up to the 64-core four-socket scaled
+// machine). The two compose: selecting anything runs only the
+// selection. -invariants N audits the coherence state every N memory
+// accesses during every run — a pure observer, so output bytes are
+// unchanged.
 // -quick shrinks the per-run instruction budgets ~4x for a fast pass.
 // -sample switches every measurement from one contiguous window to
 // SMARTS-style interval sampling: N short timed intervals spread over
@@ -78,6 +82,7 @@ func main() {
 		sampleF   = flag.Bool("sample", false, "SMARTS-style interval sampling instead of one contiguous window")
 		intervals = flag.Int("intervals", 0, "measurement intervals per configuration (0 = default 8; implies -sample)")
 		relerr    = flag.Float64("relerr", 0, "adaptive sampling: stop early once the 95% CI of IPC is within this relative error (implies -sample)")
+		invar     = flag.Int("invariants", 0, "check coherence invariants every N memory accesses (0 = off; observer only, output unchanged)")
 		jsonOut   = flag.Bool("json", false, "machine-readable JSON output (per-figure rows + runner stats)")
 		ckptDir   = flag.String("checkpoint-dir", "", "warm-state checkpoint directory: fork runs from cached warm images and persist new ones")
 	)
@@ -85,6 +90,7 @@ func main() {
 
 	o := core.DefaultOptions()
 	o.Seed = *seed
+	o.InvariantChecks = *invar
 	if *quick {
 		o.WarmupInsts, o.MeasureInsts = 150_000, 40_000
 	}

@@ -424,3 +424,57 @@ func TestCheckpointStoreConcurrentAcquire(t *testing.T) {
 		t.Fatalf("stats %+v, want %d requests", s, n)
 	}
 }
+
+// TestCheckpointOldVersionImageRetriesCold: a stale-format image on disk
+// (e.g. a v1 snapshot with the flat uint32 sharer mask, from before the
+// scalable-directory refactor) must be rejected at decode time and the
+// measurement must re-warm from cold, producing the cold-run bytes.
+func TestCheckpointOldVersionImageRetriesCold(t *testing.T) {
+	dir := t.TempDir()
+	b, _ := FindBench("Web Search")
+	o := diffOptions(1, false)
+
+	cold, err := MeasureBench(b, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store1, err := NewCheckpointStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Checkpoints = store1
+	if _, err := MeasureBench(b, o); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if len(files) != 1 {
+		t.Fatalf("want 1 image, have %d", len(files))
+	}
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The format version is the uint32 after the 8-byte magic. Rewind it
+	// to 1, simulating an image from the pre-refactor format.
+	raw[8], raw[9], raw[10], raw[11] = 1, 0, 0, 0
+	if err := os.WriteFile(files[0], raw, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := NewCheckpointStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Checkpoints = store2
+	m, err := MeasureBench(b, o)
+	if err != nil {
+		t.Fatalf("old-version image must not fail the measurement: %v", err)
+	}
+	if mustJSON(t, m) != mustJSON(t, cold) {
+		t.Fatal("measurement after version-rejection fallback differs from cold run")
+	}
+	if s := store2.Stats(); s.Failures == 0 || s.Saves != 1 {
+		t.Fatalf("stats %+v, want the stale version counted and a fresh image saved", s)
+	}
+}

@@ -56,6 +56,7 @@ func XeonX5670() Machine {
 
 			RemoteHitCycles: 110,
 			RemoteMemCycles: 90,
+			HopCycles:       70,
 			DRAM:            dram.Config{Channels: 3, AccessCycles: 190, TransferCycles: 18},
 		},
 	}
@@ -83,6 +84,22 @@ func MultiSocket(n int) Machine {
 // (Section 3.1: cores split across two physical processors so accesses
 // to actively shared blocks appear as hits in the remote cache).
 func TwoSocket() Machine { return MultiSocket(2) }
+
+// ScaledMachine returns the Table-1 machine scaled to a sockets x
+// coresPerSocket grid — the scale-up study's design space past the
+// measured box. coresPerSocket <= 0 keeps the Table-1 six, making
+// ScaledMachine(n, 0) identical to MultiSocket(n), so sweeps that mix
+// both spellings share memoized measurements. Per-core cache capacity
+// is held constant (each added core brings its own L1s and L2); socket
+// resources (LLC, memory channels) are per-socket as in MultiSocket.
+func ScaledMachine(sockets, coresPerSocket int) Machine {
+	m := MultiSocket(sockets)
+	if coresPerSocket > 0 && coresPerSocket != m.Mem.CoresPerSocket {
+		m.Mem.CoresPerSocket = coresPerSocket
+		m.Name = itoa(m.Mem.Sockets) + "x" + itoa(coresPerSocket) + "-core scaled Xeon X5670"
+	}
+	return m
+}
 
 // TableRow is one row of the Table-1 parameter listing.
 type TableRow struct {

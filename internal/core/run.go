@@ -54,6 +54,12 @@ type Options struct {
 	// and imply SplitSockets placement. 0 or 1 leaves the default
 	// single-socket configuration. The NUMA scale-up study sweeps this.
 	Sockets int
+	// CoresPerSocket, when positive, overrides the Table-1 six-core
+	// socket (unless Machine is set), selecting the scaled machine the
+	// paper's implications argue for: many smaller cores per socket.
+	// Combined with Sockets it spans grids up to 4-8 sockets and
+	// 64-256 cores, past the old 32-core ceiling.
+	CoresPerSocket int
 	// PolluteBytes, when non-zero, dedicates two extra cores to
 	// cache-polluting threads that occupy the given amount of LLC
 	// (Figure 4's capacity sensitivity methodology).
@@ -85,6 +91,12 @@ type Options struct {
 	// so this field is deliberately excluded from the Runner's
 	// memoization key — it changes wall-clock time, never results.
 	Checkpoints *CheckpointStore
+	// InvariantChecks, when positive, arms the coherence invariant
+	// checker on every n-th memory access (1 = every access); a
+	// violation panics. The checker is a pure observer — it can veto a
+	// run but never change its counters — so, like Checkpoints, this
+	// field is excluded from the memoization key.
+	InvariantChecks int
 }
 
 // DefaultOptions returns the paper's baseline measurement setup scaled
@@ -212,11 +224,12 @@ func Measure(w workloads.Workload, o Options) (*Measurement, error) {
 	}
 
 	cfg := engine.RunConfig{
-		Core:         machine.Core,
-		Mem:          machine.Mem,
-		WarmupInsts:  c.warmupInsts,
-		MeasureInsts: c.measureInsts,
-		MaxCycles:    c.measureInsts * int64(nThreads) * 40,
+		Core:                 machine.Core,
+		Mem:                  machine.Mem,
+		WarmupInsts:          c.warmupInsts,
+		MeasureInsts:         c.measureInsts,
+		MaxCycles:            c.measureInsts * int64(nThreads) * 40,
+		CheckInvariantsEvery: o.InvariantChecks,
 	}
 	if c.sampling.Enabled() {
 		// Sampled mode: N timed intervals of IntervalInsts each, every

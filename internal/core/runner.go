@@ -127,6 +127,12 @@ func canonicalize(o Options) canonicalOptions {
 	switch {
 	case o.Machine != nil:
 		c.machine = *o.Machine
+	case o.CoresPerSocket > 0:
+		sockets := o.Sockets
+		if sockets < 1 {
+			sockets = 1
+		}
+		c.machine = ScaledMachine(sockets, o.CoresPerSocket)
 	case o.Sockets >= 2:
 		c.machine = MultiSocket(o.Sockets)
 	case o.SplitSockets:

@@ -11,17 +11,23 @@ package core
 
 // ScalePoint is one configuration of the scale-up sweep: Cores workload
 // cores spread over Sockets sockets of the Table-1 machine.
+// CoresPerSocket widens each socket past the Table-1 six (0 keeps the
+// measured chip), letting the sweep reach the scaled grids the
+// directory refactor unlocked.
 type ScalePoint struct {
-	Sockets int
-	Cores   int
+	Sockets        int
+	Cores          int
+	CoresPerSocket int
 }
 
 // ScaleUpPoints returns the default sweep: 1-6 cores on one socket,
-// then 2-12 cores split across two sockets.
+// 2-12 cores split across two sockets, then the scaled four-socket
+// 16-core-per-chip grids up to the full 64-core machine.
 func ScaleUpPoints() []ScalePoint {
 	return []ScalePoint{
-		{1, 1}, {1, 2}, {1, 4}, {1, 6},
-		{2, 2}, {2, 4}, {2, 6}, {2, 8}, {2, 10}, {2, 12},
+		{1, 1, 0}, {1, 2, 0}, {1, 4, 0}, {1, 6, 0},
+		{2, 2, 0}, {2, 4, 0}, {2, 6, 0}, {2, 8, 0}, {2, 10, 0}, {2, 12, 0},
+		{4, 16, 16}, {4, 32, 16}, {4, 48, 16}, {4, 64, 16},
 	}
 }
 
@@ -68,6 +74,7 @@ func (r *Runner) ScaleUpStudy(entries []Entry, points []ScalePoint, o Options) (
 		opt := o
 		opt.Cores = p.Cores
 		opt.Sockets = p.Sockets
+		opt.CoresPerSocket = p.CoresPerSocket
 		opt.SplitSockets = p.Sockets > 1
 		sets = append(sets, entrySets(entries, opt)...)
 	}

@@ -56,7 +56,7 @@ func TestMeasureRejectsOversubscribedCores(t *testing.T) {
 func TestScaleUpStudy(t *testing.T) {
 	o := fastOptions()
 	entries := ScaleOutEntries()[:2]
-	points := []ScalePoint{{1, 1}, {1, 2}, {2, 2}}
+	points := []ScalePoint{{Sockets: 1, Cores: 1}, {Sockets: 1, Cores: 2}, {Sockets: 2, Cores: 2}}
 	rows, err := NewRunner(0).ScaleUpStudy(entries, points, o)
 	if err != nil {
 		t.Fatal(err)
@@ -134,7 +134,7 @@ func TestPollutersCoverEverySocket(t *testing.T) {
 	}
 	// An 8-core two-socket run has spare cores for polluters.
 	o := fastOptions()
-	o.Cores, o.Sockets, o.PolluteBytes = 8, 2, 4 << 20
+	o.Cores, o.Sockets, o.PolluteBytes = 8, 2, 4<<20
 	b, _ := FindBench("Web Search")
 	if _, err := MeasureBench(b, o); err != nil {
 		t.Fatalf("8-core 2-socket polluted run rejected: %v", err)

@@ -55,8 +55,8 @@ const (
 type line struct {
 	tag     uint64 // line address + 1; 0 means invalid
 	lru     uint64
-	sharers uint32 // bitmask of global core ids with a private copy
-	owner   int16  // global core id holding the line Modified, or -1
+	sharers sharerSet // global core ids with a private copy
+	owner   int16     // global core id holding the line Modified, or -1
 	flags   lineFlags
 }
 

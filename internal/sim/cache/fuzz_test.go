@@ -1,10 +1,14 @@
 package cache
 
-import "testing"
+import (
+	"testing"
+
+	"cloudsuite/internal/sim/topo"
+)
 
 // FuzzCoherence replays arbitrary access/prefetch/write sequences over
-// a one- or two-socket memory system with the coherence invariant
-// checker armed after every access. Any sequence that drives the
+// a one- to four-socket memory system of up to 64 cores with the
+// coherence invariant checker armed after every access. Any sequence that drives the
 // directory protocol into an incoherent state (stale sharers, retained
 // write permission, duplicate Modified copies, ...) panics inside
 // maybeCheck and fails the fuzz run.
@@ -15,8 +19,11 @@ import "testing"
 // shapes and mutates outward. CI runs the target for a short fixed
 // budget on every push.
 
-// Fuzz op encoding: sockets byte, then 4-byte ops
-// [kind+mode, core, addrLo, addrHi].
+// Fuzz op encoding: one topology byte — sockets in bits 0-1 (1-4),
+// cores-per-socket selector in bits 2-3 ({2,4,8,16}), interconnect in
+// bit 4 (mesh/ring) — then 4-byte ops [kind+mode, core, addrLo,
+// addrHi]. The grid reaches 4x16 = 64 cores, crossing the old 32-core
+// ceiling.
 const (
 	fopRead = iota
 	fopWrite
@@ -27,9 +34,18 @@ const (
 	fopCount
 )
 
-// fuzzOps builds one encoded input from (kind, core, line) triples.
-func fuzzOps(sockets byte, ops ...[3]uint16) []byte {
-	data := []byte{sockets}
+var fuzzCPS = [4]int{2, 4, 8, 16}
+
+// fuzzOps builds one encoded input for a sockets x cps grid from
+// (kind, core, line) triples.
+func fuzzOps(sockets, cps byte, ops ...[3]uint16) []byte {
+	sel := byte(0)
+	for i, v := range fuzzCPS {
+		if int(cps) == v {
+			sel = byte(i)
+		}
+	}
+	data := []byte{(sockets - 1) | sel<<2}
 	for _, op := range ops {
 		data = append(data, byte(op[0]), byte(op[1]), byte(op[2]&0xFF), byte(op[2]>>8))
 	}
@@ -43,17 +59,17 @@ func FuzzCoherence(f *testing.F) {
 	const l = 7
 
 	// 1. Remote instruction fill dropping the instruction flag.
-	f.Add(fuzzOps(2, [3]uint16{fopIFetch, 0, l}, [3]uint16{fopIFetch, 2, l}, [3]uint16{fopIFetch, 0, l}))
+	f.Add(fuzzOps(2, 2, [3]uint16{fopIFetch, 0, l}, [3]uint16{fopIFetch, 2, l}, [3]uint16{fopIFetch, 0, l}))
 	// 2. Instruction/L1 prefetches not snooping the remote socket.
-	f.Add(fuzzOps(2, [3]uint16{fopWrite, 0, l}, [3]uint16{fopPrefInstr, 2, l}, [3]uint16{fopWrite, 0, l}))
-	f.Add(fuzzOps(2, [3]uint16{fopWrite, 0, l}, [3]uint16{fopPrefL1, 2, l}, [3]uint16{fopWrite, 0, l}))
+	f.Add(fuzzOps(2, 2, [3]uint16{fopWrite, 0, l}, [3]uint16{fopPrefInstr, 2, l}, [3]uint16{fopWrite, 0, l}))
+	f.Add(fuzzOps(2, 2, [3]uint16{fopWrite, 0, l}, [3]uint16{fopPrefL1, 2, l}, [3]uint16{fopWrite, 0, l}))
 	// 3. Remote read downgrading the owner but leaving its private
 	//    copies with write permission.
-	f.Add(fuzzOps(2, [3]uint16{fopWrite, 0, l}, [3]uint16{fopRead, 2, l}, [3]uint16{fopWrite, 0, l}))
+	f.Add(fuzzOps(2, 2, [3]uint16{fopWrite, 0, l}, [3]uint16{fopRead, 2, l}, [3]uint16{fopWrite, 0, l}))
 	// 4. L2 prefetch hitting a remote modified copy.
-	f.Add(fuzzOps(2, [3]uint16{fopWrite, 0, l}, [3]uint16{fopPrefL2, 2, l}, [3]uint16{fopRead, 2, l}))
+	f.Add(fuzzOps(2, 2, [3]uint16{fopWrite, 0, l}, [3]uint16{fopPrefL2, 2, l}, [3]uint16{fopRead, 2, l}))
 	// 5. Local LLC write-hit not invalidating remote-socket copies.
-	f.Add(fuzzOps(2, [3]uint16{fopRead, 2, l}, [3]uint16{fopWrite, 0, l}, [3]uint16{fopRead, 2, l}))
+	f.Add(fuzzOps(2, 2, [3]uint16{fopRead, 2, l}, [3]uint16{fopWrite, 0, l}, [3]uint16{fopRead, 2, l}))
 	// 6. L2 dirty-victim absorption dropping ownership while the L1-D
 	//    kept write permission: dirty a line, storm the same L2 sets to
 	//    evict it, then store to it again (the store must re-claim
@@ -63,16 +79,26 @@ func FuzzCoherence(f *testing.F) {
 		evict = append(evict, [3]uint16{fopRead, 0, l + 64*(i+1)})
 	}
 	evict = append(evict, [3]uint16{fopWrite, 0, l}, [3]uint16{fopRead, 2, l})
-	f.Add(fuzzOps(2, evict...))
+	f.Add(fuzzOps(2, 2, evict...))
 	// Single-socket shape with SMT-style same-core traffic.
-	f.Add(fuzzOps(1, [3]uint16{fopWrite, 0, l}, [3]uint16{fopRead, 1, l}, [3]uint16{fopWrite, 1, l}))
+	f.Add(fuzzOps(1, 2, [3]uint16{fopWrite, 0, l}, [3]uint16{fopRead, 1, l}, [3]uint16{fopWrite, 1, l}))
+	// Beyond the old 32-core ceiling: a 4x16 grid with write traffic on
+	// high core ids (socket 2's core 40, socket 3's core 63) contending
+	// with socket 0 — sharer bits the flat uint32 mask could not hold.
+	f.Add(fuzzOps(4, 16,
+		[3]uint16{fopWrite, 40, l}, [3]uint16{fopRead, 0, l}, [3]uint16{fopWrite, 63, l},
+		[3]uint16{fopIFetch, 63, l + 1}, [3]uint16{fopPrefL2, 40, l + 1}, [3]uint16{fopWrite, 0, l}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 5 {
 			t.Skip()
 		}
-		sockets := 1 + int(data[0]%2)
-		s := NewSystem(testSystemConfig(sockets, 2))
+		sockets := 1 + int(data[0]&3)
+		cfg := testSystemConfig(sockets, fuzzCPS[(data[0]>>2)&3])
+		if data[0]&0x10 != 0 {
+			cfg.Interconnect = topo.Ring
+		}
+		s := NewSystem(cfg)
 		s.EnableInvariantChecks(1)
 		cores := s.Config().TotalCores()
 		now := int64(0)

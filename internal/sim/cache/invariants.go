@@ -71,9 +71,9 @@ func (s *System) CheckInvariants() error {
 					return fmt.Errorf("cache: inclusion violated: core %d %s holds line %#x absent from socket %d LLC",
 						c, pc.name, la, sock)
 				}
-				if ll.sharers&(1<<uint(c)) == 0 {
-					return fmt.Errorf("cache: sharer mask stale: core %d %s holds line %#x but socket %d LLC sharers=%#x",
-						c, pc.name, la, sock, ll.sharers)
+				if !ll.sharers.contains(c) {
+					return fmt.Errorf("cache: sharer set stale: core %d %s holds line %#x but socket %d LLC sharers=%v",
+						c, pc.name, la, sock, ll.sharers.w)
 				}
 				if l.flags&flagExcl != 0 && ll.owner != int16(c) {
 					return fmt.Errorf("cache: exclusive without ownership: core %d %s holds line %#x with write permission but socket %d LLC owner=%d",
@@ -85,16 +85,19 @@ func (s *System) CheckInvariants() error {
 
 	for so, llc := range s.llcs {
 		// The cores of socket so occupy a contiguous global-id range.
-		localMask := uint32(((1 << uint(s.cfg.CoresPerSocket)) - 1) << uint(so*s.cfg.CoresPerSocket))
+		localLo := so * s.cfg.CoresPerSocket
+		localHi := localLo + s.cfg.CoresPerSocket
 		for i := range llc.lines {
 			l := &llc.lines[i]
 			if !l.valid() {
 				continue
 			}
 			la := l.tag - 1
-			if l.sharers&^localMask != 0 {
-				return fmt.Errorf("cache: socket %d LLC line %#x lists foreign sharers %#x (local mask %#x)",
-					so, la, l.sharers, localMask)
+			for c := l.sharers.next(0); c >= 0; c = l.sharers.next(c + 1) {
+				if c < localLo || c >= localHi {
+					return fmt.Errorf("cache: socket %d LLC line %#x lists foreign sharer core %d (local cores %d-%d)",
+						so, la, c, localLo, localHi-1)
+				}
 			}
 			if l.owner < 0 {
 				continue
@@ -103,9 +106,9 @@ func (s *System) CheckInvariants() error {
 			if o >= len(s.cores) || s.socketOf(o) != so {
 				return fmt.Errorf("cache: socket %d LLC line %#x owned by foreign core %d", so, la, o)
 			}
-			if l.sharers != 1<<uint(o) {
-				return fmt.Errorf("cache: socket %d LLC line %#x owned Modified by core %d but sharers=%#x (must be exclusive)",
-					so, la, o, l.sharers)
+			if !l.sharers.only(o) {
+				return fmt.Errorf("cache: socket %d LLC line %#x owned Modified by core %d but sharers=%v (must be exclusive)",
+					so, la, o, l.sharers.w)
 			}
 			oc := &s.cores[o]
 			if !oc.l1d.Contains(la) && !oc.l2.Contains(la) {

@@ -1,8 +1,10 @@
 package cache
 
 import (
+	"math/rand"
 	"testing"
 
+	"cloudsuite/internal/sim/topo"
 	"cloudsuite/internal/trace"
 	"cloudsuite/internal/workloads"
 	"cloudsuite/internal/workloads/dataserving"
@@ -40,15 +42,15 @@ func TestCheckInvariantsDetectsCorruption(t *testing.T) {
 		}},
 		{"stale-sharers", func(s *System) {
 			s.AccessData(0, 0x1000, false, false, 0)
-			s.llcs[0].probe(line, false).sharers = 0
+			s.llcs[0].probe(line, false).sharers = sharerSet{}
 		}},
 		{"foreign-sharer", func(s *System) {
 			s.AccessData(0, 0x1000, false, false, 0)
-			s.llcs[0].probe(line, false).sharers |= 1 << 2 // socket-1 core
+			s.llcs[0].probe(line, false).sharers.add(2) // socket-1 core
 		}},
 		{"owner-not-sharer", func(s *System) {
 			s.AccessData(0, 0x1000, true, false, 0)
-			s.llcs[0].probe(line, false).sharers = 1 << 1
+			s.llcs[0].probe(line, false).sharers = onlySharer(1)
 			s.cores[1].l1d.insert(line, 0)
 			s.cores[0].l1d.invalidate(line)
 			s.cores[0].l2.invalidate(line)
@@ -72,6 +74,78 @@ func TestCheckInvariantsDetectsCorruption(t *testing.T) {
 		tc.prep(s)
 		if err := s.CheckInvariants(); err == nil {
 			t.Errorf("%s: corruption not detected", tc.name)
+		}
+	}
+}
+
+// The same corruption shapes must be caught above the old 32-core
+// boundary, where the flat uint32 mask could not even represent the
+// cores involved.
+func TestCheckInvariantsDetectsCorruptionBeyond32Cores(t *testing.T) {
+	line := uint64(0x1000) >> LineShift
+	corrupt := []struct {
+		name string
+		prep func(s *System)
+	}{
+		{"stale-high-sharer", func(s *System) {
+			s.AccessData(40, 0x1000, false, false, 0) // socket 2, core 40
+			s.llcs[2].probe(line, false).sharers = sharerSet{}
+		}},
+		{"foreign-high-sharer", func(s *System) {
+			s.AccessData(0, 0x1000, false, false, 0)
+			s.llcs[0].probe(line, false).sharers.add(40)
+		}},
+		{"high-owner-not-exclusive", func(s *System) {
+			s.AccessData(40, 0x1000, true, false, 0)
+			s.llcs[2].probe(line, false).sharers.add(41)
+		}},
+		{"absent-high-owner", func(s *System) {
+			s.AccessData(63, 0x1000, true, false, 0)
+			s.cores[63].l1d.invalidate(line)
+			s.cores[63].l2.invalidate(line)
+		}},
+	}
+	for _, tc := range corrupt {
+		s := NewSystem(noPrefetchConfig(4, 16))
+		tc.prep(s)
+		if err := s.CheckInvariants(); err == nil {
+			t.Errorf("%s: corruption not detected", tc.name)
+		}
+	}
+}
+
+// TestInvariantsHoldOnRandomizedTopologies drives synthetic traffic
+// with the checker armed on every access across the widened design
+// space: one to four sockets, up to 64 cores, both interconnects. The
+// address pool is small so lines collide across cores and sockets
+// constantly — the densest possible sharing the directory must survive.
+func TestInvariantsHoldOnRandomizedTopologies(t *testing.T) {
+	grids := []struct{ sockets, cps int }{
+		{1, 2}, {1, 16}, {2, 8}, {3, 4}, {4, 4}, {4, 16},
+	}
+	for _, kind := range []topo.Kind{topo.FullMesh, topo.Ring} {
+		for _, g := range grids {
+			cfg := testSystemConfig(g.sockets, g.cps)
+			cfg.Interconnect = kind
+			s := NewSystem(cfg)
+			s.EnableInvariantChecks(1)
+			cores := cfg.TotalCores()
+			rng := rand.New(rand.NewSource(int64(cores)*7 + int64(kind)))
+			for i := 0; i < 4000; i++ {
+				core := rng.Intn(cores)
+				addr := uint64(rng.Intn(48)) << LineShift
+				switch rng.Intn(4) {
+				case 0:
+					s.AccessData(core, addr, true, rng.Intn(8) == 0, int64(i))
+				case 1, 2:
+					s.AccessData(core, addr, false, rng.Intn(8) == 0, int64(i))
+				case 3:
+					s.FetchInstr(core, addr|0x40_0000<<LineShift, int64(i), false)
+				}
+			}
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("%s %dx%d: %v", kind, g.sockets, g.cps, err)
+			}
 		}
 	}
 }

@@ -1,0 +1,134 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"cloudsuite/internal/sim/checkpoint"
+)
+
+// refSet is the trivially-correct reference model the sharerSet is
+// property-tested against.
+type refSet map[int]bool
+
+func (r refSet) next(from int) int {
+	for c := from; c < MaxCores; c++ {
+		if r[c] {
+			return c
+		}
+	}
+	return -1
+}
+
+func (r refSet) only(core int) bool { return len(r) == 1 && r[core] }
+
+// checkAgainstRef asserts every observable of s matches the reference
+// model, probing all cores plus full iteration order.
+func checkAgainstRef(t *testing.T, s sharerSet, ref refSet, step string) {
+	t.Helper()
+	if got, want := s.count(), len(ref); got != want {
+		t.Fatalf("%s: count = %d, want %d", step, got, want)
+	}
+	if got, want := s.empty(), len(ref) == 0; got != want {
+		t.Fatalf("%s: empty = %v, want %v", step, got, want)
+	}
+	for c := 0; c < MaxCores; c++ {
+		if got, want := s.contains(c), ref[c]; got != want {
+			t.Fatalf("%s: contains(%d) = %v, want %v", step, c, got, want)
+		}
+		if got, want := s.only(c), ref.only(c); got != want {
+			t.Fatalf("%s: only(%d) = %v, want %v", step, c, got, want)
+		}
+	}
+	// Iteration must visit exactly the members, ascending.
+	want := ref.next(0)
+	for got := s.next(0); ; got = s.next(got + 1) {
+		if got != want {
+			t.Fatalf("%s: iteration yields %d, want %d", step, got, want)
+		}
+		if got < 0 {
+			break
+		}
+		want = ref.next(got + 1)
+	}
+}
+
+// TestSharerSetMatchesReference drives random add/remove sequences
+// through the sharerSet and a map-based reference in lockstep. Core ids
+// are drawn to hammer the 64-bit word boundaries (63/64, 127/128, ...)
+// that the old uint32 mask never had.
+func TestSharerSetMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// Half the draws land on word-boundary cores, half anywhere.
+	boundary := []int{0, 1, 31, 32, 62, 63, 64, 65, 126, 127, 128, 129, 191, 192, 254, 255}
+	draw := func() int {
+		if rng.Intn(2) == 0 {
+			return boundary[rng.Intn(len(boundary))]
+		}
+		return rng.Intn(MaxCores)
+	}
+	for trial := 0; trial < 50; trial++ {
+		var s sharerSet
+		ref := refSet{}
+		for op := 0; op < 200; op++ {
+			c := draw()
+			switch rng.Intn(3) {
+			case 0:
+				s.add(c)
+				ref[c] = true
+			case 1:
+				s.remove(c)
+				delete(ref, c)
+			case 2:
+				s = onlySharer(c)
+				ref = refSet{c: true}
+			}
+			checkAgainstRef(t, s, ref, "trial")
+		}
+		// Serialization round-trip preserves the set exactly.
+		w := checkpoint.NewWriter()
+		s.save(w)
+		r := w.Snapshot("sharer-test").Reader()
+		got := loadSharerSet(r)
+		if err := r.Err(); err != nil {
+			t.Fatalf("trial %d: load: %v", trial, err)
+		}
+		if got != s {
+			t.Fatalf("trial %d: round-trip %+v != %+v", trial, got, s)
+		}
+	}
+}
+
+// TestSharerSetWordEdges pins the cross-word cases directly: the old
+// 32-core ceiling (core 32+) and every 64-bit word edge up to MaxCores.
+func TestSharerSetWordEdges(t *testing.T) {
+	var s sharerSet
+	edges := []int{0, 31, 32, 63, 64, 127, 128, 191, 192, 255}
+	for _, c := range edges {
+		s.add(c)
+	}
+	if s.count() != len(edges) {
+		t.Fatalf("count = %d, want %d", s.count(), len(edges))
+	}
+	i := 0
+	for c := s.next(0); c >= 0; c = s.next(c + 1) {
+		if c != edges[i] {
+			t.Fatalf("iteration[%d] = %d, want %d", i, c, edges[i])
+		}
+		i++
+	}
+	if i != len(edges) {
+		t.Fatalf("iteration stopped after %d members, want %d", i, len(edges))
+	}
+	// Removing a high core must not disturb its word neighbours.
+	s.remove(64)
+	if s.contains(64) || !s.contains(63) || !s.contains(127) {
+		t.Fatal("remove(64) disturbed neighbouring members")
+	}
+	if only := onlySharer(255); !only.only(255) || only.count() != 1 {
+		t.Fatal("onlySharer(255) is not exactly {255}")
+	}
+	if onlySharer(MaxCores-1).next(0) != MaxCores-1 {
+		t.Fatal("next missed the last representable core")
+	}
+}

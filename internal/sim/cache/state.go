@@ -7,7 +7,7 @@ import (
 )
 
 // This file serializes the memory system into warm-state checkpoints:
-// every cache array with its directory fields (sharers masks, Modified
+// every cache array with its directory fields (sharer sets, Modified
 // owners), the per-core prefetcher state, the per-socket DRAM
 // controllers, and the per-core performance-counter blocks. Together
 // with the per-core TLB and branch-predictor state (saved by the
@@ -41,7 +41,7 @@ func (c *Cache) SaveState(w *checkpoint.Writer) {
 		w.U32(uint32(i))
 		w.U64(l.tag)
 		w.U64(l.lru)
-		w.U32(l.sharers)
+		l.sharers.save(w)
 		w.U16(uint16(l.owner))
 		w.U8(uint8(l.flags))
 	}
@@ -79,7 +79,7 @@ func (c *Cache) LoadState(r *checkpoint.Reader) {
 		l := &c.lines[i]
 		l.tag = r.U64()
 		l.lru = r.U64()
-		l.sharers = r.U32()
+		l.sharers = loadSharerSet(r)
 		l.owner = int16(r.U16())
 		l.flags = lineFlags(r.U8())
 	}

@@ -1,0 +1,83 @@
+package cache
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"cloudsuite/internal/sim/checkpoint"
+)
+
+// snapshotSystem serializes s and returns the container bytes.
+func snapshotSystem(t *testing.T, s *System) []byte {
+	t.Helper()
+	w := checkpoint.NewWriter()
+	s.SaveState(w)
+	var buf bytes.Buffer
+	if err := w.Snapshot("state-test").Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSystemStateRoundTrip64Cores proves the new sparse sharer-set
+// encoding round-trips on a four-socket 64-core machine: warm a system
+// past the old 32-core envelope, SaveState, LoadState into a fresh
+// system, and SaveState again — the two snapshots must be byte-equal
+// and the restored directory must satisfy every invariant.
+func TestSystemStateRoundTrip64Cores(t *testing.T) {
+	const sockets, cps = 4, 16
+	cfg := testSystemConfig(sockets, cps)
+	s := NewSystem(cfg)
+	rng := rand.New(rand.NewSource(7))
+	now := int64(0)
+	for op := 0; op < 6000; op++ {
+		core := rng.Intn(sockets * cps)
+		addr := uint64(rng.Intn(256)) * 64 // hot pool: lots of sharing
+		switch rng.Intn(3) {
+		case 0:
+			s.AccessData(core, addr, false, false, now)
+		case 1:
+			s.AccessData(core, addr, true, false, now)
+		default:
+			s.FetchInstr(core, addr, now, false)
+		}
+		now += 3
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("warmed system invalid before save: %v", err)
+	}
+
+	first := snapshotSystem(t, s)
+
+	restored := NewSystem(cfg)
+	snap, err := checkpoint.Decode(bytes.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.LoadState(snap.Reader()); err != nil {
+		t.Fatalf("LoadState: %v", err)
+	}
+	if err := restored.CheckInvariants(); err != nil {
+		t.Fatalf("restored system violates invariants: %v", err)
+	}
+	if second := snapshotSystem(t, restored); !bytes.Equal(first, second) {
+		t.Fatal("save -> load -> save is not byte-identical at 4 sockets / 64 cores")
+	}
+}
+
+// TestSystemLoadRejectsGeometryMismatch: a snapshot of one grid must not
+// load into another.
+func TestSystemLoadRejectsGeometryMismatch(t *testing.T) {
+	s := NewSystem(testSystemConfig(4, 16))
+	s.AccessData(40, 0x1000, true, false, 0)
+	raw := snapshotSystem(t, s)
+	snap, err := checkpoint.Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := NewSystem(testSystemConfig(2, 6))
+	if err := other.LoadState(snap.Reader()); err == nil {
+		t.Fatal("4x16 snapshot loaded into a 2x6 system")
+	}
+}

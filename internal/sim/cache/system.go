@@ -1,19 +1,22 @@
 package cache
 
 import (
+	"fmt"
+
 	"cloudsuite/internal/sim/counters"
 	"cloudsuite/internal/sim/dram"
 	"cloudsuite/internal/sim/prefetch"
+	"cloudsuite/internal/sim/topo"
 )
 
 // SystemConfig describes the full memory system of the simulated
 // machine: per-core private caches, one shared LLC per socket, the
-// prefetcher enable bits, and the DRAM controller.
+// socket interconnect, the prefetcher enable bits, and the DRAM
+// controller.
 type SystemConfig struct {
 	// Sockets x CoresPerSocket is the machine's core grid. The LLC
-	// directory tracks private copies in a 32-bit global-core bitmask,
-	// so TotalCores() must not exceed 32 (the engine rejects larger
-	// configurations).
+	// directory tracks private copies in a per-line sharer vector wide
+	// enough for MaxCores cores; Validate rejects grids beyond it.
 	Sockets        int
 	CoresPerSocket int
 
@@ -42,15 +45,28 @@ type SystemConfig struct {
 	// uniform LLC latency. Data accesses are unaffected.
 	LLCInstrLatencyCycles int
 
-	// RemoteHitCycles is the latency of servicing a miss from the other
-	// socket's cache (QPI hop + remote LLC).
+	// RemoteHitCycles is the latency of servicing a miss from a
+	// one-hop remote socket's cache (interconnect hop + remote LLC).
 	RemoteHitCycles int
 
 	// RemoteMemCycles is the extra latency of a line fetch serviced by
-	// the other socket's memory controller (the QPI hop to remote DRAM).
-	// Each socket owns its own controller; physical pages are
-	// interleaved across sockets at 4KB granularity.
+	// a one-hop remote socket's memory controller (the interconnect hop
+	// to remote DRAM). Each socket owns its own controller; physical
+	// pages are interleaved across sockets at 4KB granularity.
 	RemoteMemCycles int
+
+	// Interconnect selects the point-to-point socket topology. The
+	// zero value is topo.FullMesh — every remote socket one hop away —
+	// which on one- and two-socket machines is exactly the original
+	// QPI model.
+	Interconnect topo.Kind
+
+	// HopCycles is the extra latency per interconnect hop beyond the
+	// first on a multi-hop route (forwarding through an intermediate
+	// socket: link traversal plus router). The first hop is already
+	// priced into RemoteHitCycles / RemoteMemCycles, so this only
+	// matters past two sockets on non-mesh topologies.
+	HopCycles int
 
 	// DRAM configures one socket's memory controller. A multi-socket
 	// system instantiates one controller per socket, so aggregate
@@ -77,6 +93,29 @@ const (
 // TotalCores returns the number of cores in the system.
 func (c SystemConfig) TotalCores() int { return c.Sockets * c.CoresPerSocket }
 
+// Validate checks that the core grid and interconnect describe a
+// machine the directory can track. It replaces the old blanket
+// "32-core limit" rejection with real topology validation.
+func (c SystemConfig) Validate() error {
+	if c.Sockets <= 0 {
+		return fmt.Errorf("cache: %d sockets; a machine needs at least one", c.Sockets)
+	}
+	if c.CoresPerSocket <= 0 {
+		return fmt.Errorf("cache: %d cores per socket; a socket needs at least one core", c.CoresPerSocket)
+	}
+	if n := c.TotalCores(); n > MaxCores {
+		return fmt.Errorf("cache: %d cores (%d sockets x %d) exceed the %d-core directory sharer vector",
+			n, c.Sockets, c.CoresPerSocket, MaxCores)
+	}
+	if !c.Interconnect.Valid() {
+		return fmt.Errorf("cache: unknown interconnect %s", c.Interconnect)
+	}
+	if c.HopCycles < 0 {
+		return fmt.Errorf("cache: negative HopCycles %d", c.HopCycles)
+	}
+	return nil
+}
+
 // DefaultSystemConfig returns the Table-1 memory system: one socket
 // exposed with six cores (experiments enable four), 32KB L1s, 256KB L2,
 // 12MB LLC, all prefetchers on, three DDR3 channels.
@@ -93,7 +132,10 @@ func DefaultSystemConfig() SystemConfig {
 		DCUStreamer:     true,
 		RemoteHitCycles: 110,
 		RemoteMemCycles: 90,
-		DRAM:            dram.DefaultConfig(),
+		// An extra forwarding hop re-pays roughly the link share of the
+		// 110-cycle remote hit (110 = 29 LLC + ~80 link and snoop).
+		HopCycles: 70,
+		DRAM:      dram.DefaultConfig(),
 	}
 }
 
@@ -115,6 +157,7 @@ type System struct {
 	llcs  []*Cache
 	mems  []*dram.Controller // one controller per socket
 	ctrs  []*counters.Counters
+	hops  [][]int // pairwise socket hop distances (Interconnect)
 
 	// checkEvery, when positive, runs CheckInvariants after every n-th
 	// access (see invariants.go).
@@ -152,7 +195,23 @@ func NewSystem(cfg SystemConfig) *System {
 	for i := range s.llcs {
 		s.llcs[i] = New(cfg.LLC)
 	}
+	s.hops = make([][]int, cfg.Sockets)
+	for a := range s.hops {
+		s.hops[a] = make([]int, cfg.Sockets)
+		for b := range s.hops[a] {
+			s.hops[a][b] = topo.Hops(cfg.Interconnect, a, b, cfg.Sockets)
+		}
+	}
 	return s
+}
+
+// hopPenalty converts a hop distance into the extra cycles beyond the
+// one-hop latencies already priced into the remote costs.
+func (s *System) hopPenalty(hops int) int64 {
+	if hops <= 1 {
+		return 0
+	}
+	return int64(hops-1) * int64(s.cfg.HopCycles)
 }
 
 // Config returns the system configuration.
@@ -209,15 +268,17 @@ func (s *System) homeSocket(lineAddr uint64) int {
 }
 
 // memRead fetches a line from its home socket's memory controller,
-// charging the QPI hop when the requesting core is on another socket.
+// charging the interconnect route when the requesting core is on
+// another socket: the first hop at RemoteMemCycles, each further hop
+// at HopCycles.
 func (s *System) memRead(core int, lineAddr uint64, now int64) int64 {
 	home := s.homeSocket(lineAddr)
 	done := s.mems[home].Read(lineAddr, now)
-	if home == s.socketOf(core) {
+	if my := s.socketOf(core); home == my {
 		s.ctrs[core].DRAMReadLocal++
 	} else {
 		s.ctrs[core].DRAMReadRemote++
-		done += int64(s.cfg.RemoteMemCycles)
+		done += int64(s.cfg.RemoteMemCycles) + s.hopPenalty(s.hops[my][home])
 	}
 	return done
 }
@@ -262,11 +323,11 @@ func (s *System) evictLLCVictim(core int, victim line, now int64) {
 }
 
 // invalidateSharers removes lineAddr from the private caches of every
-// core named in mask except the given one (-1 = none), reporting
-// whether any removed copy was dirty.
-func (s *System) invalidateSharers(mask uint32, except int, lineAddr uint64) (dirty bool) {
-	for c := 0; mask != 0; mask, c = mask>>1, c+1 {
-		if mask&1 == 0 || c == except {
+// core named in the sharer set except the given one (-1 = none),
+// reporting whether any removed copy was dirty.
+func (s *System) invalidateSharers(set sharerSet, except int, lineAddr uint64) (dirty bool) {
+	for c := set.next(0); c >= 0; c = set.next(c + 1) {
+		if c == except {
 			continue
 		}
 		cc := &s.cores[c]
@@ -355,7 +416,7 @@ func (s *System) claimOwnership(core int, lineAddr uint64, llcLine *line) (stole
 			stolenFromOther = true
 		}
 	}
-	llcLine.sharers = 1 << uint(core)
+	llcLine.sharers = onlySharer(core)
 	llcLine.owner = int16(core)
 	llcLine.flags |= flagDirty
 	return stolenFromOther || (prevOwner >= 0 && prevOwner != int16(core))
@@ -605,7 +666,7 @@ func (s *System) accessShared(core int, lineAddr uint64, write, kernel, instr bo
 		if sharedRW {
 			s.countSharedRW(core, lineAddr, kernel)
 		}
-		l.sharers |= 1 << uint(core)
+		l.sharers.add(core)
 		if write && !instr {
 			l.owner = int16(core)
 		}
@@ -622,14 +683,26 @@ func (s *System) accessShared(core int, lineAddr uint64, write, kernel, instr bo
 	// remote holder — a dirty copy can coexist with clean replicas on
 	// other sockets. A write gains chip-wide exclusivity by invalidating
 	// every remote copy; a read downgrades the Modified owner, if any.
+	// Latency scales with hop distance on the interconnect: a read is
+	// serviced by the nearest holder, a write completes when the
+	// farthest holder has acknowledged its invalidation.
+	my := s.socketOf(core)
 	remote, modified := false, false
+	nearest, farthest := 0, 0
 	for so := range s.llcs {
-		if so == s.socketOf(core) {
+		if so == my {
 			continue
 		}
 		rl := s.llcs[so].probe(lineAddr, false)
 		if rl == nil {
 			continue
+		}
+		h := s.hops[my][so]
+		if !remote || h < nearest {
+			nearest = h
+		}
+		if h > farthest {
+			farthest = h
 		}
 		remote = true
 		if rl.owner >= 0 || rl.flags&flagDirty != 0 {
@@ -657,11 +730,15 @@ func (s *System) accessShared(core int, lineAddr uint64, write, kernel, instr bo
 			fl |= flagInstr
 		}
 		nl := s.fillLLC(core, lineAddr, fl, now)
-		nl.sharers = 1 << uint(core)
+		nl.sharers = onlySharer(core)
 		if write && !instr {
 			nl.owner = int16(core)
 		}
-		return now + int64(s.cfg.RemoteHitCycles)
+		routeHops := nearest
+		if write {
+			routeHops = farthest
+		}
+		return now + int64(s.cfg.RemoteHitCycles) + s.hopPenalty(routeHops)
 	}
 
 	// Off-chip.
@@ -679,7 +756,7 @@ func (s *System) accessShared(core int, lineAddr uint64, write, kernel, instr bo
 		fl |= flagInstr
 	}
 	nl := s.fillLLC(core, lineAddr, fl, now)
-	nl.sharers = 1 << uint(core)
+	nl.sharers = onlySharer(core)
 	if write && !instr {
 		nl.owner = int16(core)
 	}
@@ -703,7 +780,7 @@ func (s *System) prefetchLLC(core int, lineAddr uint64, fl lineFlags, kernel boo
 		if l.owner >= 0 && l.owner != int16(core) {
 			s.downgradeOwner(lineAddr, l)
 		}
-		l.sharers |= 1 << uint(core)
+		l.sharers.add(core)
 		return
 	}
 	for so := range s.llcs {
@@ -716,7 +793,7 @@ func (s *System) prefetchLLC(core int, lineAddr uint64, fl lineFlags, kernel boo
 			}
 			s.ctrs[core].RemoteSocketHit++
 			nl := s.fillLLC(core, lineAddr, fl, now)
-			nl.sharers |= 1 << uint(core)
+			nl.sharers.add(core)
 			return
 		}
 	}
@@ -727,7 +804,7 @@ func (s *System) prefetchLLC(core int, lineAddr uint64, fl lineFlags, kernel boo
 		s.ctrs[core].OffchipReadUser += LineBytes
 	}
 	nl := s.fillLLC(core, lineAddr, fl, now)
-	nl.sharers |= 1 << uint(core)
+	nl.sharers.add(core)
 }
 
 // prefetchInstr fetches an instruction line into core's L1-I without

@@ -489,7 +489,7 @@ func TestQuickOwnerIsSharer(t *testing.T) {
 			if !l.valid() || l.owner < 0 {
 				continue
 			}
-			if l.sharers&(1<<uint(l.owner)) == 0 {
+			if !l.sharers.contains(int(l.owner)) {
 				return false
 			}
 		}

@@ -50,7 +50,11 @@ import (
 // Version is the snapshot format version. Bump it whenever any
 // component's serialized layout changes; snapshots of other versions
 // are rejected at decode time (a disk cache then simply re-warms).
-const Version = 1
+//
+// History: v1 stored the LLC directory's sharers as a flat uint32
+// bitmask; v2 stores the sparse sharer-set encoding that tracks up to
+// 256 cores.
+const Version = 2
 
 var magic = [8]byte{'C', 'S', 'C', 'K', 'P', 'T', '0', '1'}
 

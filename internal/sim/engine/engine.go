@@ -125,6 +125,14 @@ type RunConfig struct {
 	// WarmupInsts); mismatches fail with an error. A restored run is
 	// byte-identical to the warm run it forked from.
 	Restore *checkpoint.Snapshot
+
+	// CheckInvariantsEvery, when positive, arms the memory system's
+	// coherence invariant checker on every n-th access (1 = every
+	// access). A violation panics. Checking is a pure observer: it
+	// never changes a measurement, only vetoes an incoherent one, so
+	// smoke runs at new scales can assert the directory's correctness
+	// in-line.
+	CheckInvariantsEvery int
 }
 
 // IntervalResult is one timed measurement window of a sampled run: the
@@ -282,17 +290,19 @@ func Run(cfg RunConfig, threads []Thread) (*Result, error) {
 	if cfg.Core.Width == 0 {
 		cfg.Core = DefaultCoreConfig()
 	}
-	if cfg.Mem.TotalCores() == 0 {
+	// An entirely-unspecified core grid selects the Table-1 machine; a
+	// partially- or badly-specified one is an error, not a silent
+	// fallback.
+	if cfg.Mem.Sockets == 0 && cfg.Mem.CoresPerSocket == 0 {
 		cfg.Mem = cache.DefaultSystemConfig()
 	}
-	// The LLC directory tracks private copies in a 32-bit global-core
-	// bitmask; a larger machine would silently drop sharers and corrupt
-	// coherence.
-	if cfg.Mem.TotalCores() > 32 {
-		return nil, fmt.Errorf("engine: %d cores exceed the 32-core directory limit (%d sockets x %d)",
-			cfg.Mem.TotalCores(), cfg.Mem.Sockets, cfg.Mem.CoresPerSocket)
+	if err := cfg.Mem.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
 	}
 	mem := cache.NewSystem(cfg.Mem)
+	if cfg.CheckInvariantsEvery > 0 {
+		mem.EnableInvariantChecks(cfg.CheckInvariantsEvery)
+	}
 
 	perCore := map[int][]int{} // core id -> indices into threads
 	for i, t := range threads {

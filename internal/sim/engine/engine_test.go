@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"cloudsuite/internal/sim/cache"
+	"cloudsuite/internal/sim/topo"
 	"cloudsuite/internal/trace"
 )
 
@@ -461,5 +462,38 @@ func TestRunRejectsMoreThan32Cores(t *testing.T) {
 	_, err := Run(cfg, []Thread{{Gen: gen, Core: 0, Measured: true}})
 	if err == nil {
 		t.Fatal("36-core machine must be rejected (32-bit sharers mask)")
+	}
+}
+
+// TestRunTopologyValidation covers the topology validation that
+// replaced the old blanket 32-core directory limit: malformed grids are
+// rejected with real errors, and grids past the old ceiling run.
+func TestRunTopologyValidation(t *testing.T) {
+	g := aluStream(0, 10)
+	run := func(mutate func(*cache.SystemConfig), core int) error {
+		cfg := RunConfig{
+			Core: DefaultCoreConfig(), Mem: cache.DefaultSystemConfig(),
+			MeasureInsts: 500, MaxCycles: 1_000_000,
+		}
+		mutate(&cfg.Mem)
+		_, err := Run(cfg, []Thread{{Gen: g, Core: core, Measured: true}})
+		return err
+	}
+	if err := run(func(m *cache.SystemConfig) { m.Sockets = -1 }, 0); err == nil {
+		t.Error("negative socket count must be rejected")
+	}
+	if err := run(func(m *cache.SystemConfig) { m.CoresPerSocket = 0 }, 0); err == nil {
+		t.Error("zero cores per socket with nonzero sockets must be rejected")
+	}
+	if err := run(func(m *cache.SystemConfig) { m.Sockets, m.CoresPerSocket = 8, 64 }, 0); err == nil {
+		t.Errorf("a %d-core grid must exceed the %d-core sharer vector", 8*64, cache.MaxCores)
+	}
+	if err := run(func(m *cache.SystemConfig) { m.Interconnect = topo.Kind(200) }, 0); err == nil {
+		t.Error("unknown interconnect kind must be rejected")
+	}
+	// The old engine refused any machine beyond 32 cores; a 4x16 grid
+	// with a thread on core 40 must now simply run.
+	if err := run(func(m *cache.SystemConfig) { m.Sockets, m.CoresPerSocket = 4, 16 }, 40); err != nil {
+		t.Errorf("4x16-core grid rejected: %v", err)
 	}
 }
