@@ -76,19 +76,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	o := core.Options{
+	o, err := buildOptions(cliFlags{
 		Cores: *cores, Sockets: *sockets, CoresPerSocket: *cps,
-		SMT: *smt, SplitSockets: *split,
-		PolluteBytes: uint64(*pollute) << 20,
-		WarmupInsts:  *warmup, MeasureInsts: *measure, Seed: *seed,
-		InvariantChecks: *invar,
-	}
-	if *sampleF || *intervals > 0 || *relerr > 0 {
-		o.Sampling = core.DefaultSampling()
-		if *intervals > 0 {
-			o.Sampling.Intervals = *intervals
-		}
-		o.Sampling.TargetRelErr = *relerr
+		SMT: *smt, Split: *split, PolluteMB: *pollute,
+		Warmup: *warmup, Measure: *measure, Seed: *seed,
+		Invariants: *invar, Parallel: *parallel,
+		Sample: *sampleF, Intervals: *intervals, RelErr: *relerr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
 	runner := core.NewRunner(*parallel)

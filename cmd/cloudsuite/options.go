@@ -1,0 +1,107 @@
+package main
+
+import (
+	"fmt"
+
+	"cloudsuite/internal/core"
+	"cloudsuite/internal/sim/cache"
+)
+
+// maxBudgetInsts caps per-thread instruction budgets at a value far
+// beyond any sensible simulation (a single thread at ~1M simulated
+// insts/sec would run for days): a mistyped exponent should be a flag
+// error, not a day-long hang.
+const maxBudgetInsts = 1_000_000_000
+
+// maxIntervals caps the sampling schedule: more intervals than measured
+// instructions cannot be scheduled, and absurd counts signal a typo.
+const maxIntervals = 1_000_000
+
+// cliFlags carries the measurement-shaping flag values into validation.
+type cliFlags struct {
+	Cores          int
+	Sockets        int
+	CoresPerSocket int
+	SMT            bool
+	Split          bool
+	PolluteMB      int
+	Warmup         int64
+	Measure        int64
+	Seed           int64
+	Invariants     int
+	Parallel       int
+	Sample         bool
+	Intervals      int
+	RelErr         float64
+}
+
+// buildOptions validates the flag values and assembles core.Options.
+// Every rejection happens here, before any simulation starts: the
+// historical bug class is a negative budget surviving to the engine's
+// timed loop, wrapping a uint64, and hanging — guards must answer with
+// a clear error instead.
+func buildOptions(v cliFlags) (core.Options, error) {
+	switch {
+	case v.Cores <= 0:
+		return core.Options{}, fmt.Errorf("-cores %d: must be positive", v.Cores)
+	case v.Cores > cache.MaxCores:
+		return core.Options{}, fmt.Errorf("-cores %d: exceeds the %d-core directory limit", v.Cores, cache.MaxCores)
+	case v.Sockets < 0:
+		return core.Options{}, fmt.Errorf("-sockets %d: must be >= 0", v.Sockets)
+	case v.Sockets > cache.MaxCores:
+		return core.Options{}, fmt.Errorf("-sockets %d: exceeds the %d-core directory limit", v.Sockets, cache.MaxCores)
+	case v.CoresPerSocket < 0:
+		return core.Options{}, fmt.Errorf("-cores-per-socket %d: must be >= 0 (0 = the Table-1 six)", v.CoresPerSocket)
+	case v.CoresPerSocket > cache.MaxCores:
+		return core.Options{}, fmt.Errorf("-cores-per-socket %d: exceeds the %d-core directory limit", v.CoresPerSocket, cache.MaxCores)
+	case v.PolluteMB < 0:
+		return core.Options{}, fmt.Errorf("-pollute %d: must be >= 0", v.PolluteMB)
+	case v.Warmup < 0:
+		return core.Options{}, fmt.Errorf("-warmup %d: must be >= 0", v.Warmup)
+	case v.Warmup > maxBudgetInsts:
+		return core.Options{}, fmt.Errorf("-warmup %d: exceeds the %d per-thread budget cap", v.Warmup, int64(maxBudgetInsts))
+	case v.Measure <= 0:
+		return core.Options{}, fmt.Errorf("-measure %d: must be positive", v.Measure)
+	case v.Measure > maxBudgetInsts:
+		return core.Options{}, fmt.Errorf("-measure %d: exceeds the %d per-thread budget cap", v.Measure, int64(maxBudgetInsts))
+	case v.Invariants < 0:
+		return core.Options{}, fmt.Errorf("-invariants %d: must be >= 0 (0 = off)", v.Invariants)
+	case v.Parallel < 0:
+		return core.Options{}, fmt.Errorf("-parallel %d: must be >= 0 (0 = GOMAXPROCS)", v.Parallel)
+	}
+	if err := validateSamplingFlags(v.Intervals, v.RelErr); err != nil {
+		return core.Options{}, err
+	}
+	o := core.Options{
+		Cores: v.Cores, Sockets: v.Sockets, CoresPerSocket: v.CoresPerSocket,
+		SMT: v.SMT, SplitSockets: v.Split,
+		PolluteBytes: uint64(v.PolluteMB) << 20,
+		WarmupInsts:  v.Warmup, MeasureInsts: v.Measure, Seed: v.Seed,
+		InvariantChecks: v.Invariants,
+	}
+	if v.Sample || v.Intervals > 0 || v.RelErr > 0 {
+		o.Sampling = core.DefaultSampling()
+		if v.Intervals > 0 {
+			o.Sampling.Intervals = v.Intervals
+		}
+		o.Sampling.TargetRelErr = v.RelErr
+	}
+	return o, nil
+}
+
+// validateSamplingFlags guards the sampling shape shared by cloudsuite
+// and figures: non-positive or oversized interval counts and relative
+// errors outside (0,1) are flag errors, not downstream surprises.
+func validateSamplingFlags(intervals int, relerr float64) error {
+	switch {
+	case intervals < 0:
+		return fmt.Errorf("-intervals %d: must be >= 0 (0 = default)", intervals)
+	case intervals > maxIntervals:
+		return fmt.Errorf("-intervals %d: exceeds the %d-interval cap", intervals, maxIntervals)
+	case relerr < 0:
+		return fmt.Errorf("-relerr %g: must be >= 0 (0 = fixed interval count)", relerr)
+	case relerr >= 1:
+		return fmt.Errorf("-relerr %g: must be below 1 (it is a relative error target)", relerr)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"cloudsuite/internal/sim/cache"
+)
+
+// validFlags mirrors the CLI defaults, which must always build.
+func validFlags() cliFlags {
+	return cliFlags{Cores: 4, Sockets: 1, Warmup: 400_000, Measure: 120_000, Seed: 1}
+}
+
+func TestBuildOptionsDefaults(t *testing.T) {
+	o, err := buildOptions(validFlags())
+	if err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	if o.Cores != 4 || o.Sockets != 1 || o.WarmupInsts != 400_000 || o.MeasureInsts != 120_000 {
+		t.Errorf("defaults mangled: %+v", o)
+	}
+	if o.Sampling.Enabled() {
+		t.Errorf("sampling enabled without any sampling flag")
+	}
+}
+
+func TestBuildOptionsSampling(t *testing.T) {
+	v := validFlags()
+	v.Intervals = 12
+	v.RelErr = 0.05
+	o, err := buildOptions(v)
+	if err != nil {
+		t.Fatalf("sampling flags rejected: %v", err)
+	}
+	if !o.Sampling.Enabled() || o.Sampling.Intervals != 12 || o.Sampling.TargetRelErr != 0.05 {
+		t.Errorf("sampling spec not carried through: %+v", o.Sampling)
+	}
+}
+
+func TestBuildOptionsPollute(t *testing.T) {
+	v := validFlags()
+	v.PolluteMB = 6
+	o, err := buildOptions(v)
+	if err != nil {
+		t.Fatalf("pollute rejected: %v", err)
+	}
+	if o.PolluteBytes != 6<<20 {
+		t.Errorf("PolluteBytes = %d, want %d", o.PolluteBytes, 6<<20)
+	}
+}
+
+func TestBuildOptionsRejects(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*cliFlags)
+		want   string
+	}{
+		{"zero cores", func(v *cliFlags) { v.Cores = 0 }, "-cores 0: must be positive"},
+		{"negative cores", func(v *cliFlags) { v.Cores = -1 }, "-cores -1: must be positive"},
+		{"oversized cores", func(v *cliFlags) { v.Cores = cache.MaxCores + 1 }, "directory limit"},
+		{"negative sockets", func(v *cliFlags) { v.Sockets = -2 }, "-sockets -2: must be >= 0"},
+		{"oversized sockets", func(v *cliFlags) { v.Sockets = cache.MaxCores + 1 }, "directory limit"},
+		{"negative cores-per-socket", func(v *cliFlags) { v.CoresPerSocket = -6 }, "-cores-per-socket -6: must be >= 0"},
+		{"oversized cores-per-socket", func(v *cliFlags) { v.CoresPerSocket = cache.MaxCores + 1 }, "directory limit"},
+		{"negative pollute", func(v *cliFlags) { v.PolluteMB = -1 }, "-pollute -1: must be >= 0"},
+		{"negative warmup", func(v *cliFlags) { v.Warmup = -1 }, "-warmup -1: must be >= 0"},
+		{"oversized warmup", func(v *cliFlags) { v.Warmup = maxBudgetInsts + 1 }, "budget cap"},
+		{"zero measure", func(v *cliFlags) { v.Measure = 0 }, "-measure 0: must be positive"},
+		{"negative measure", func(v *cliFlags) { v.Measure = -120_000 }, "-measure -120000: must be positive"},
+		{"oversized measure", func(v *cliFlags) { v.Measure = maxBudgetInsts + 1 }, "budget cap"},
+		{"negative invariants", func(v *cliFlags) { v.Invariants = -1 }, "-invariants -1: must be >= 0"},
+		{"negative parallel", func(v *cliFlags) { v.Parallel = -4 }, "-parallel -4: must be >= 0"},
+		{"negative intervals", func(v *cliFlags) { v.Intervals = -8 }, "-intervals -8: must be >= 0"},
+		{"oversized intervals", func(v *cliFlags) { v.Intervals = maxIntervals + 1 }, "interval cap"},
+		{"negative relerr", func(v *cliFlags) { v.RelErr = -0.05 }, "-relerr -0.05: must be >= 0"},
+		{"relerr of one", func(v *cliFlags) { v.RelErr = 1 }, "must be below 1"},
+		{"oversized relerr", func(v *cliFlags) { v.RelErr = 2.5 }, "must be below 1"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			v := validFlags()
+			tt.mutate(&v)
+			_, err := buildOptions(v)
+			if err == nil {
+				t.Fatalf("accepted %+v, want error containing %q", v, tt.want)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+}

@@ -88,20 +88,14 @@ func main() {
 	)
 	flag.Parse()
 
-	o := core.DefaultOptions()
-	o.Seed = *seed
-	o.InvariantChecks = *invar
-	if *quick {
-		o.WarmupInsts, o.MeasureInsts = 150_000, 40_000
+	o, err := buildOptions(cliFlags{
+		Quick: *quick, Seed: *seed, Invariants: *invar, Parallel: *parallel,
+		Sample: *sampleF, Intervals: *intervals, RelErr: *relerr,
+	})
+	if err != nil {
+		fail(err)
 	}
-	sampled := *sampleF || *intervals > 0 || *relerr > 0
-	if sampled {
-		o.Sampling = core.DefaultSampling()
-		if *intervals > 0 {
-			o.Sampling.Intervals = *intervals
-		}
-		o.Sampling.TargetRelErr = *relerr
-	}
+	sampled := o.Sampling.Enabled()
 
 	runner := core.NewRunner(*parallel)
 	if *progress {

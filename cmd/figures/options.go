@@ -1,0 +1,57 @@
+package main
+
+import (
+	"fmt"
+
+	"cloudsuite/internal/core"
+)
+
+// maxIntervals caps the sampling schedule: more intervals than measured
+// instructions cannot be scheduled, and absurd counts signal a typo.
+const maxIntervals = 1_000_000
+
+// cliFlags carries the measurement-shaping flag values into validation.
+type cliFlags struct {
+	Quick      bool
+	Seed       int64
+	Invariants int
+	Parallel   int
+	Sample     bool
+	Intervals  int
+	RelErr     float64
+}
+
+// buildOptions validates the flag values and assembles the shared
+// core.Options every selected figure runs with. Rejections happen here,
+// before any simulation starts: a negative budget or interval count
+// surviving to the engine historically wrapped a uint64 and hung.
+func buildOptions(v cliFlags) (core.Options, error) {
+	switch {
+	case v.Invariants < 0:
+		return core.Options{}, fmt.Errorf("-invariants %d: must be >= 0 (0 = off)", v.Invariants)
+	case v.Parallel < 0:
+		return core.Options{}, fmt.Errorf("-parallel %d: must be >= 0 (0 = GOMAXPROCS)", v.Parallel)
+	case v.Intervals < 0:
+		return core.Options{}, fmt.Errorf("-intervals %d: must be >= 0 (0 = default)", v.Intervals)
+	case v.Intervals > maxIntervals:
+		return core.Options{}, fmt.Errorf("-intervals %d: exceeds the %d-interval cap", v.Intervals, maxIntervals)
+	case v.RelErr < 0:
+		return core.Options{}, fmt.Errorf("-relerr %g: must be >= 0 (0 = fixed interval count)", v.RelErr)
+	case v.RelErr >= 1:
+		return core.Options{}, fmt.Errorf("-relerr %g: must be below 1 (it is a relative error target)", v.RelErr)
+	}
+	o := core.DefaultOptions()
+	o.Seed = v.Seed
+	o.InvariantChecks = v.Invariants
+	if v.Quick {
+		o.WarmupInsts, o.MeasureInsts = 150_000, 40_000
+	}
+	if v.Sample || v.Intervals > 0 || v.RelErr > 0 {
+		o.Sampling = core.DefaultSampling()
+		if v.Intervals > 0 {
+			o.Sampling.Intervals = v.Intervals
+		}
+		o.Sampling.TargetRelErr = v.RelErr
+	}
+	return o, nil
+}

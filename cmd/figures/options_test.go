@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildOptionsDefaults(t *testing.T) {
+	o, err := buildOptions(cliFlags{Seed: 1})
+	if err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	if o.Seed != 1 {
+		t.Errorf("Seed = %d, want 1", o.Seed)
+	}
+	if o.Sampling.Enabled() {
+		t.Errorf("sampling enabled without any sampling flag")
+	}
+}
+
+func TestBuildOptionsQuickAndSampling(t *testing.T) {
+	o, err := buildOptions(cliFlags{Seed: 1, Quick: true, Intervals: 16, RelErr: 0.1})
+	if err != nil {
+		t.Fatalf("quick+sampling rejected: %v", err)
+	}
+	if o.WarmupInsts != 150_000 || o.MeasureInsts != 40_000 {
+		t.Errorf("quick budgets not applied: warmup=%d measure=%d", o.WarmupInsts, o.MeasureInsts)
+	}
+	if !o.Sampling.Enabled() || o.Sampling.Intervals != 16 || o.Sampling.TargetRelErr != 0.1 {
+		t.Errorf("sampling spec not carried through: %+v", o.Sampling)
+	}
+}
+
+func TestBuildOptionsRejects(t *testing.T) {
+	tests := []struct {
+		name  string
+		flags cliFlags
+		want  string
+	}{
+		{"negative invariants", cliFlags{Invariants: -1}, "-invariants -1: must be >= 0"},
+		{"negative parallel", cliFlags{Parallel: -2}, "-parallel -2: must be >= 0"},
+		{"negative intervals", cliFlags{Intervals: -8}, "-intervals -8: must be >= 0"},
+		{"oversized intervals", cliFlags{Intervals: maxIntervals + 1}, "interval cap"},
+		{"negative relerr", cliFlags{RelErr: -0.05}, "-relerr -0.05: must be >= 0"},
+		{"relerr of one", cliFlags{RelErr: 1}, "must be below 1"},
+		{"oversized relerr", cliFlags{RelErr: 3}, "must be below 1"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := buildOptions(tt.flags)
+			if err == nil {
+				t.Fatalf("accepted %+v, want error containing %q", tt.flags, tt.want)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+}

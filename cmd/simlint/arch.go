@@ -1,0 +1,7 @@
+package main
+
+import "runtime"
+
+// defaultGOARCH sizes type-checking when the go command does not set
+// GOARCH in the environment (it normally does for cross builds).
+const defaultGOARCH = runtime.GOARCH

@@ -1,0 +1,15 @@
+package analysis
+
+// All is the simlint suite in reporting order: the analyzers cmd/simlint
+// runs by default, standalone and under `go vet -vettool`.
+var All = []*Analyzer{MapOrder, GlobalRand, CheckpointCov, MemoKey}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CheckpointCov verifies checkpoint field coverage: for every type that
+// implements the snapshot protocol (methods named SaveState and
+// LoadState), each struct field must be
+//
+//   - touched by SaveState or LoadState (directly, or through another
+//     method of the same type that they call — helpers and nested
+//     component SaveState fan-out both count), or
+//   - marked `//simlint:replay <reason>`: the field's post-warm value
+//     is re-derived by the deterministic replay fast-forward
+//     (skipThread) rather than serialized, or
+//   - exempted with `//simlint:ok checkpointcov <reason>` (typically
+//     configuration fixed at construction, checked for geometry
+//     mismatch instead of being restored).
+//
+// This is the "field added, checkpoint forgot" guard: before it, a new
+// field silently diverged the restored image and only the PR-5 golden
+// differential — a whole-simulation byte comparison, run in CI, long
+// after the edit — could notice, without saying which field. The
+// analyzer moves that failure to vet time and names the field.
+var CheckpointCov = &Analyzer{
+	Name: "checkpointcov",
+	Doc:  "verifies every field of a SaveState/LoadState type is serialized, replay-derived (//simlint:replay), or exempted",
+	Run:  runCheckpointCov,
+}
+
+func runCheckpointCov(pass *Pass) error {
+	// Group the package's methods by receiver type.
+	methods := map[*types.TypeName]map[string]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			named := receiverType(pass.TypesInfo, fd.Recv.List[0])
+			if named == nil {
+				continue
+			}
+			tn := named.Obj()
+			if methods[tn] == nil {
+				methods[tn] = map[string]*ast.FuncDecl{}
+			}
+			methods[tn][fd.Name.Name] = fd
+		}
+	}
+
+	for tn, ms := range methods {
+		if ms["SaveState"] == nil || ms["LoadState"] == nil {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		covered := fieldsTouched(pass, tn, ms)
+		fieldDecl := structFieldDecls(pass, tn, st)
+		for i := 0; i < st.NumFields(); i++ {
+			fv := st.Field(i)
+			if covered[fv] {
+				continue
+			}
+			af := fieldDecl[fv]
+			if af != nil && replayAnnotated(af.Doc, af.Comment) {
+				continue
+			}
+			pos := tn.Pos()
+			if af != nil {
+				pos = af.Pos()
+			}
+			pass.Reportf(pos,
+				"field %s.%s is not covered by SaveState/LoadState: serialize it, mark it //simlint:replay <reason>, or annotate //simlint:ok checkpointcov <reason>",
+				tn.Name(), fv.Name())
+		}
+	}
+	return nil
+}
+
+// fieldsTouched returns the struct fields of tn selected anywhere in
+// SaveState, LoadState, or any method of tn reachable from them through
+// static method calls on the same type. Passing the whole receiver to a
+// call (`w.Struct(c)` — the checkpoint Writer's reflective whole-struct
+// encoder) covers every field at once.
+func fieldsTouched(pass *Pass, tn *types.TypeName, ms map[string]*ast.FuncDecl) map[*types.Var]bool {
+	covered := map[*types.Var]bool{}
+	seen := map[*ast.FuncDecl]bool{}
+	work := []*ast.FuncDecl{ms["SaveState"], ms["LoadState"]}
+	coverAll := func() {
+		st := tn.Type().Underlying().(*types.Struct)
+		for i := 0; i < st.NumFields(); i++ {
+			covered[st.Field(i)] = true
+		}
+	}
+	for len(work) > 0 {
+		fd := work[len(work)-1]
+		work = work[:len(work)-1]
+		if fd == nil || seen[fd] || fd.Body == nil {
+			continue
+		}
+		seen[fd] = true
+		recv := receiverObj(pass, fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				if s := pass.TypesInfo.Selections[e]; s != nil {
+					if fv, ok := s.Obj().(*types.Var); ok && fv.IsField() {
+						covered[fv] = true
+					}
+					// Calls to methods of the same type extend the search.
+					if fn, ok := s.Obj().(*types.Func); ok {
+						if next := ms[fn.Name()]; next != nil && sameReceiver(pass, next, tn) {
+							work = append(work, next)
+						}
+					}
+				}
+			case *ast.CallExpr:
+				// The receiver handed to a call wholesale (w.Struct(c),
+				// binary.Write(buf, order, c), &c, *c) serializes every
+				// field reflectively.
+				for _, arg := range e.Args {
+					if exprIsObj(pass, arg, recv) {
+						coverAll()
+					}
+				}
+			}
+			return true
+		})
+	}
+	return covered
+}
+
+// receiverObj returns the object of fd's receiver variable, nil for an
+// anonymous receiver.
+func receiverObj(pass *Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pass.TypesInfo.ObjectOf(fd.Recv.List[0].Names[0])
+}
+
+// exprIsObj reports whether e is obj, possibly behind & or *.
+func exprIsObj(pass *Pass, e ast.Expr, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	switch v := e.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.ObjectOf(v) == obj
+	case *ast.UnaryExpr:
+		return exprIsObj(pass, v.X, obj)
+	case *ast.StarExpr:
+		return exprIsObj(pass, v.X, obj)
+	}
+	return false
+}
+
+func sameReceiver(pass *Pass, fd *ast.FuncDecl, tn *types.TypeName) bool {
+	named := receiverType(pass.TypesInfo, fd.Recv.List[0])
+	return named != nil && named.Obj() == tn
+}
+
+// structFieldDecls maps tn's field objects to their declaring ast.Field
+// so annotations and positions can be read off the syntax. Matching is
+// by source position — a field *Var's Pos lies inside its declaring
+// ast.Field for named and embedded fields alike.
+func structFieldDecls(pass *Pass, tn *types.TypeName, st *types.Struct) map[*types.Var]*ast.Field {
+	out := map[*types.Var]*ast.Field{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || pass.TypesInfo.Defs[ts.Name] != tn {
+				return true
+			}
+			astSt, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range astSt.Fields.List {
+				for i := 0; i < st.NumFields(); i++ {
+					fv := st.Field(i)
+					if fv.Pos() >= field.Pos() && fv.Pos() <= field.End() {
+						out[fv] = field
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

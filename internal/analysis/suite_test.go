@@ -1,0 +1,35 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"cloudsuite/internal/analysis"
+	"cloudsuite/internal/analysis/analysistest"
+)
+
+// Each analyzer must fail its fixture without the check: the fixtures
+// carry // want expectations (including the seeded StreamI and
+// DebugSharing bug reproductions), and analysistest fails on both
+// missing and unexpected diagnostics.
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.MapOrder,
+		"internal/sim/streami", // seeded StreamI map-iteration eviction bug
+		"tools",                // outside the guarded roots: must stay silent
+	)
+}
+
+func TestGlobalRand(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.GlobalRand,
+		"internal/sim/debugcache", // seeded DebugSharing package-global bug
+		"tools",                   // outside the guarded roots: must stay silent
+	)
+}
+
+func TestCheckpointCov(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.CheckpointCov, "ckpt")
+}
+
+func TestMemoKey(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.MemoKey, "memo")
+}

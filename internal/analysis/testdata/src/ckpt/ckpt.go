@@ -1,0 +1,75 @@
+// Package ckpt is the checkpointcov fixture: types implementing the
+// SaveState/LoadState snapshot protocol with one forgotten field (the
+// "field added, checkpoint forgot" drift the analyzer exists to catch),
+// one replay-derived field, one construction-time exemption, and
+// coverage that flows through a helper method.
+package ckpt
+
+// Writer and Reader are local stand-ins for checkpoint.Writer/Reader;
+// the analyzer keys on the SaveState/LoadState method names, not the
+// parameter types.
+type Writer struct{ buf []byte }
+
+func (w *Writer) U64(v uint64) {}
+func (w *Writer) Struct(v any) {}
+
+type Reader struct{ off int }
+
+func (r *Reader) U64() uint64  { return 0 }
+func (r *Reader) Struct(v any) {}
+
+// Table has every coverage class the analyzer distinguishes.
+type Table struct {
+	hist uint64
+	// mask is rebuilt from the configured size at construction; replay
+	// fast-forward re-derives it, so it is deliberately not serialized.
+	mask uint64 //simlint:replay re-derived from configuration at construction
+	// pos was added after SaveState was written — the drift bug.
+	pos     int // want `field Table.pos is not covered by SaveState/LoadState`
+	entries []uint64
+}
+
+func (t *Table) SaveState(w *Writer) {
+	w.U64(t.hist)
+	t.saveEntries(w)
+}
+
+// saveEntries covers the entries field one call level down from
+// SaveState.
+func (t *Table) saveEntries(w *Writer) {
+	for _, e := range t.entries {
+		w.U64(e)
+	}
+}
+
+func (t *Table) LoadState(r *Reader) {
+	t.hist = r.U64()
+}
+
+// Meta shows the //simlint:ok exemption for configuration fixed at
+// construction and checked for mismatch rather than restored.
+type Meta struct {
+	cfg int //simlint:ok checkpointcov construction-time configuration, geometry-checked not restored
+	v   uint64
+}
+
+func (m *Meta) SaveState(w *Writer) { w.U64(m.v) }
+func (m *Meta) LoadState(r *Reader) { m.v = r.U64() }
+
+// Block hands the whole receiver to the writer's reflective encoder
+// (the counters.Counters pattern): every field is covered at once.
+type Block struct {
+	a uint64
+	b uint64
+}
+
+func (b *Block) SaveState(w *Writer) { w.Struct(b) }
+func (b *Block) LoadState(r *Reader) { r.Struct(b) }
+
+// Plain has the method names but is not a struct-backed saver pair —
+// Writer/Reader themselves have no SaveState, so none of their fields
+// are checked.
+type Plain int
+
+func (p Plain) SaveState(w *Writer) {}
+func (p Plain) LoadState(r *Reader) {}

@@ -1,0 +1,75 @@
+// Package streami is the maporder fixture: a seeded reproduction of
+// the historical StreamI bug. The temporal-stream prefetcher's bounded
+// history evicted "one arbitrary entry" by ranging a map and breaking
+// after the first key — a different victim every process, so the miss
+// stream (and therefore every downstream counter) differed run to run.
+// PR 5's checkpoint differential caught it; this analyzer catches it at
+// vet time.
+package streami
+
+import "sort"
+
+// StreamTable mimics the prefetcher's bounded history.
+type StreamTable struct {
+	hist map[uint64]int
+	max  int
+}
+
+// evictOne is the StreamI bug pattern: delete-one-arbitrary via map
+// iteration. Which entry dies depends on the randomized visit order.
+func (s *StreamTable) evictOne() {
+	for k := range s.hist { // want `map iteration order is randomized`
+		delete(s.hist, k)
+		break
+	}
+}
+
+// liveKeys leaks visit order into a result slice through a filter.
+func (s *StreamTable) liveKeys() []uint64 {
+	var out []uint64
+	for k, v := range s.hist { // want `map iteration order is randomized`
+		if v > 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// sortedKeys is the allowed collect-then-sort idiom: the range body
+// only appends keys; ordering happens in sort.Slice below.
+func (s *StreamTable) sortedKeys() []uint64 {
+	keys := make([]uint64, 0, len(s.hist))
+	for k := range s.hist {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// clear is the allowed full-clear idiom: every key is deleted, so the
+// visit order cannot matter.
+func (s *StreamTable) clear() {
+	for k := range s.hist {
+		delete(s.hist, k)
+	}
+}
+
+// size uses a keyless range: the body cannot observe the element.
+func (s *StreamTable) size() int {
+	n := 0
+	for range s.hist {
+		n++
+	}
+	return n
+}
+
+// total is order-dependent by the analyzer's conservative rule but
+// carries the audited exemption (integer addition commutes).
+func (s *StreamTable) total() int {
+	n := 0
+	//simlint:ok maporder integer sum commutes, visit order cannot leak
+	for _, v := range s.hist {
+		n += v
+	}
+	return n
+}

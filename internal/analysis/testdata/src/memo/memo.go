@@ -1,0 +1,42 @@
+// Package memo is the memokey fixture: an Options struct and its
+// canonicalize memo-key construction with one field that silently
+// misses the key — the cache-aliasing bug where two configurations
+// differing only in that field would share a memo slot and the second
+// would get the first one's results.
+package memo
+
+// Machine stands in for the resolved machine description.
+type Machine struct{ Name string }
+
+// Options mirrors core.Options in miniature.
+type Options struct {
+	Cores int
+	Seed  int64
+	// Machine reaches the key through the resolveMachine helper.
+	Machine *Machine
+	// Debug changes measured behavior but was never keyed — the bug.
+	Debug bool // want `Options.Debug does not reach canonicalize`
+	// Observer is a pure observer: it can veto a run but never change
+	// its counters, so exclusion is deliberate and audited.
+	Observer int //simlint:ok memokey pure observer, cannot change measured results
+}
+
+type canonicalOptions struct {
+	cores   int
+	seed    int64
+	machine Machine
+}
+
+func canonicalize(o Options) canonicalOptions {
+	c := canonicalOptions{cores: o.Cores, seed: o.Seed}
+	c.machine = resolveMachine(o)
+	return c
+}
+
+// resolveMachine covers the Machine field one call level down.
+func resolveMachine(o Options) Machine {
+	if o.Machine != nil {
+		return *o.Machine
+	}
+	return Machine{Name: "default"}
+}

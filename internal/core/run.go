@@ -90,12 +90,14 @@ type Options struct {
 	// CheckpointStore). Restored runs are byte-identical to cold runs,
 	// so this field is deliberately excluded from the Runner's
 	// memoization key — it changes wall-clock time, never results.
+	//simlint:ok memokey restored runs are byte-identical to cold runs (differential-tested), so this changes wall-clock only
 	Checkpoints *CheckpointStore
 	// InvariantChecks, when positive, arms the coherence invariant
 	// checker on every n-th memory access (1 = every access); a
 	// violation panics. The checker is a pure observer — it can veto a
 	// run but never change its counters — so, like Checkpoints, this
 	// field is excluded from the memoization key.
+	//simlint:ok memokey pure observer: can veto a run by panicking but never changes its counters
 	InvariantChecks int
 }
 

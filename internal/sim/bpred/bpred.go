@@ -24,14 +24,14 @@ func DefaultConfig() Config {
 // Predictor is a gshare + BTB branch predictor. It is not safe for
 // concurrent use; each hardware context owns one.
 type Predictor struct {
-	cfg     Config
+	cfg     Config  //simlint:ok checkpointcov construction-time configuration; LoadState geometry-checks table sizes instead of restoring it
 	pht     []uint8 // 2-bit saturating counters
-	phtMask uint64
+	phtMask uint64  //simlint:ok checkpointcov derived from cfg.GshareBits at construction
 	history uint64
-	histMsk uint64
+	histMsk uint64 //simlint:ok checkpointcov derived from cfg.HistoryBits at construction
 	btbTag  []uint64
 	btbTgt  []uint64
-	btbMask uint64
+	btbMask uint64 //simlint:ok checkpointcov derived from cfg.BTBEntries at construction
 }
 
 // New returns a predictor with all counters weakly not-taken.

@@ -64,9 +64,9 @@ func (l *line) valid() bool { return l.tag != 0 }
 
 // Cache is one set-associative cache with true-LRU replacement.
 type Cache struct {
-	cfg   Config
-	sets  int
-	assoc int
+	cfg   Config //simlint:ok checkpointcov construction-time configuration; LoadState geometry-checks against it instead of restoring it
+	sets  int    //simlint:ok checkpointcov derived from cfg at construction, geometry-checked by LoadState
+	assoc int    //simlint:ok checkpointcov derived from cfg at construction, geometry-checked by LoadState
 	lines []line
 	tick  uint64
 }

@@ -10,7 +10,7 @@ import (
 func sharingTraffic(s *System, lineAddr uint64, rounds int) {
 	addr := lineAddr << LineShift
 	for i := 0; i < rounds; i++ {
-		s.AccessData(0, addr, true, false, int64(4*i))   // core 0 modifies
+		s.AccessData(0, addr, true, false, int64(4*i))    // core 0 modifies
 		s.AccessData(2, addr, false, false, int64(4*i+1)) // socket-1 core reads
 		s.AccessData(2, addr, true, true, int64(4*i+2))   // and writes back (OS mode)
 		s.AccessData(0, addr, false, false, int64(4*i+3))

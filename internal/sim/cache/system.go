@@ -157,16 +157,17 @@ type System struct {
 	llcs  []*Cache
 	mems  []*dram.Controller // one controller per socket
 	ctrs  []*counters.Counters
-	hops  [][]int // pairwise socket hop distances (Interconnect)
+	//simlint:ok checkpointcov precomputed from cfg's topology at construction, identical for equal configs
+	hops [][]int // pairwise socket hop distances (Interconnect)
 
 	// checkEvery, when positive, runs CheckInvariants after every n-th
 	// access (see invariants.go).
-	checkEvery int
+	checkEvery int //simlint:ok checkpointcov observer configuration armed per run, never part of warm state
 	accesses   uint64
 
 	// debugSharing, when non-nil, histograms read-write-shared lines
 	// (see EnableDebugSharing).
-	debugSharing map[uint64]uint64
+	debugSharing map[uint64]uint64 //simlint:ok checkpointcov debug observer enabled per run, excluded from measured state
 }
 
 // NewSystem builds the memory system.

@@ -56,6 +56,7 @@ import (
 // 256 cores.
 const Version = 2
 
+//simlint:ok globalrand write-once file-format magic, read-only after initialization
 var magic = [8]byte{'C', 'S', 'C', 'K', 'P', 'T', '0', '1'}
 
 // Snapshot is one immutable warm-state image: a version, an identity

@@ -29,7 +29,7 @@ func DefaultConfig() Config {
 // Controller is the memory controller. It is used single-threaded by the
 // simulator's cycle loop.
 type Controller struct {
-	cfg       Config
+	cfg       Config  //simlint:ok checkpointcov construction-time configuration; LoadState geometry-checks channel count instead of restoring it
 	freeAt    []int64 // per-channel time the channel becomes free
 	busy      []int64 // per-channel cumulative busy cycles
 	start     int64

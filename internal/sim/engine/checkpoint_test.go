@@ -49,10 +49,10 @@ func mixedStream(seed int64, span uint64, n int) trace.Generator {
 // state (sharers, owners) behind for the snapshot to carry.
 func twoSocketThreads() []Thread {
 	return []Thread{
-		{Gen: mixedStream(1, 1 << 22, 4096), Core: 0, Measured: true},
-		{Gen: mixedStream(2, 1 << 22, 4096), Core: 1, Measured: true},
-		{Gen: mixedStream(3, 1 << 22, 4096), Core: 6, Measured: true},
-		{Gen: mixedStream(4, 1 << 22, 4096), Core: 7, Measured: true},
+		{Gen: mixedStream(1, 1<<22, 4096), Core: 0, Measured: true},
+		{Gen: mixedStream(2, 1<<22, 4096), Core: 1, Measured: true},
+		{Gen: mixedStream(3, 1<<22, 4096), Core: 6, Measured: true},
+		{Gen: mixedStream(4, 1<<22, 4096), Core: 7, Measured: true},
 	}
 }
 

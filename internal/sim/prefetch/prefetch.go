@@ -25,12 +25,12 @@ func AdjacentLine(lineAddr uint64) uint64 { return lineAddr ^ 1 }
 type Stride struct {
 	streams []stream
 	clock   uint64
-	out     []uint64
+	out     []uint64 //simlint:ok checkpointcov per-access scratch output, drained before the access returns
 	// Degree is how many lines ahead of a confirmed stream to prefetch.
-	Degree int
+	Degree int //simlint:ok checkpointcov construction-time configuration, identical for equal configs
 	// Confidence is the number of same-direction advances required
 	// before a stream starts prefetching.
-	Confidence int
+	Confidence int //simlint:ok checkpointcov construction-time configuration, identical for equal configs
 }
 
 type stream struct {

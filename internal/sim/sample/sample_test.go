@@ -77,7 +77,7 @@ func TestFromSamples(t *testing.T) {
 	if math.Abs(e.Half-wantHalf) > 1e-9 {
 		t.Errorf("half %g, want %g", e.Half, wantHalf)
 	}
-	if !e.Contains(3) || e.Contains(3 + wantHalf + 0.01) {
+	if !e.Contains(3) || e.Contains(3+wantHalf+0.01) {
 		t.Error("Contains disagrees with Lo/Hi")
 	}
 	if math.Abs(e.RelErr()-wantHalf/3) > 1e-12 {

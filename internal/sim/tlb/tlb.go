@@ -25,12 +25,12 @@ const (
 
 // TLB is a set-associative translation buffer with LRU replacement.
 type TLB struct {
-	sets    int
-	assoc   int
+	sets    int //simlint:ok checkpointcov construction-time geometry, checked by LoadState instead of restored
+	assoc   int //simlint:ok checkpointcov construction-time geometry, checked by LoadState instead of restored
 	tags    []uint64
 	stamps  []uint64
 	tick    uint64
-	setMask uint64
+	setMask uint64 //simlint:ok checkpointcov derived from sets at construction
 }
 
 // New returns an empty TLB.
@@ -103,9 +103,9 @@ type Hierarchy struct {
 	DTLB *TLB
 	STLB *TLB
 	// WalkCycles is the fixed page-walk cost on a second-level miss.
-	WalkCycles int
+	WalkCycles int //simlint:ok checkpointcov construction-time latency configuration, identical for equal configs
 	// L2Cycles is the added cost of a first-level miss that hits the STLB.
-	L2Cycles int
+	L2Cycles int //simlint:ok checkpointcov construction-time latency configuration, identical for equal configs
 }
 
 // NewHierarchy returns a Westmere-like TLB hierarchy.
