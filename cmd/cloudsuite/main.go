@@ -9,6 +9,7 @@
 //	           [-smt] [-split] [-pollute 6] [-warmup 400000] [-measure 120000]
 //	           [-seed 1] [-sample] [-intervals 8] [-relerr 0.05]
 //	           [-invariants 1000] [-checkpoint-dir DIR]
+//	           [-pprof 127.0.0.1:6060] [-obs-out PREFIX]
 //	cloudsuite -bench "Web Search,Data Serving" [-parallel 4] [-progress]
 //	cloudsuite -bench all
 //
@@ -30,6 +31,11 @@
 // directly. -invariants N audits the full coherence state (directory
 // consistency, inclusion, socket locality) every N memory accesses —
 // an observer only, measurements are unchanged.
+// -pprof ADDR serves net/http/pprof and the live metrics registry on
+// ADDR; -obs-out PREFIX writes PREFIX.metrics.json and
+// PREFIX.trace.json (Chrome trace_event format) on exit. Either flag
+// arms the observability layer, a pure observer: measured output is
+// byte-identical with or without it.
 package main
 
 import (
@@ -37,8 +43,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"cloudsuite/internal/core"
+	"cloudsuite/internal/obs"
 )
 
 func main() {
@@ -61,6 +69,8 @@ func main() {
 		intervals = flag.Int("intervals", 0, "measurement intervals (0 = default 8; implies -sample)")
 		relerr    = flag.Float64("relerr", 0, "adaptive sampling: stop once the 95% CI of IPC is within this relative error (implies -sample)")
 		ckptDir   = flag.String("checkpoint-dir", "", "warm-state checkpoint directory: fork runs from cached warm images and persist new ones")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and live metrics on this address (e.g. 127.0.0.1:6060)")
+		obsOut    = flag.String("obs-out", "", "write PREFIX.metrics.json and PREFIX.trace.json (Chrome trace_event) on exit")
 	)
 	flag.Parse()
 
@@ -91,7 +101,11 @@ func main() {
 	runner := core.NewRunner(*parallel)
 	if *progress {
 		runner.SetProgress(func(ev core.ProgressEvent) {
-			fmt.Fprintf(os.Stderr, "%4d/%-4d %s\n", ev.Done, ev.Total, ev.Bench)
+			tag := ""
+			if ev.Source != "" {
+				tag = fmt.Sprintf(" (%s, %s)", ev.Source, ev.Duration.Round(time.Millisecond))
+			}
+			fmt.Fprintf(os.Stderr, "%4d/%-4d %s%s\n", ev.Done, ev.Total, ev.Bench, tag)
 		})
 	}
 	if *ckptDir != "" {
@@ -101,6 +115,19 @@ func main() {
 			os.Exit(1)
 		}
 		runner.SetCheckpoints(cs)
+	}
+	var ob *obs.Observer
+	if *pprofAddr != "" || *obsOut != "" {
+		ob = obs.New()
+		runner.SetObserver(ob)
+	}
+	if *pprofAddr != "" {
+		addr, err := obs.Serve(*pprofAddr, ob)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "obs: profiling endpoint on http://%s/debug/pprof/ (metrics at /metrics)\n", addr)
 	}
 	reqs := make([]core.MeasureRequest, len(benches))
 	for i, b := range benches {
@@ -116,6 +143,13 @@ func main() {
 			fmt.Println()
 		}
 		printMeasurement(m)
+	}
+	if *obsOut != "" {
+		if err := ob.WriteFiles(*obsOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "obs: wrote %s.metrics.json and %s.trace.json\n", *obsOut, *obsOut)
 	}
 }
 

@@ -6,7 +6,7 @@
 //
 //	figures [-only 1,3,7] [-fig scaling] [-quick] [-seed 1] [-parallel 4] [-progress]
 //	        [-sample] [-intervals 8] [-relerr 0.05] [-invariants 1000] [-json]
-//	        [-checkpoint-dir DIR]
+//	        [-checkpoint-dir DIR] [-pprof 127.0.0.1:6060] [-obs-out PREFIX]
 //
 // -only selects numbered figures; -fig selects named experiments beyond
 // the paper's figures (currently "scaling", the NUMA scale-up study
@@ -30,6 +30,14 @@
 // contributes its own image otherwise, with images persisted in DIR
 // across invocations. Restored runs are byte-identical to cold runs,
 // so the flag changes wall-clock time, never output.
+// -pprof ADDR serves net/http/pprof plus the live metrics registry
+// (/metrics, /debug/vars) on ADDR for profiling a sweep in flight.
+// -obs-out PREFIX arms the observability layer and, on exit, writes
+// PREFIX.metrics.json (phase-timing and cache metrics) and
+// PREFIX.trace.json (Chrome trace_event format — load it in
+// chrome://tracing or https://ui.perfetto.dev). Either flag arms the
+// observer; both are pure observers, so figure output stays
+// byte-identical to an unobserved run (CI enforces this).
 // All selected figures share one measurement Runner: -parallel sets its
 // worker-pool width (0 = GOMAXPROCS) and configurations common to
 // several figures are measured once and served from the memoization
@@ -44,8 +52,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"cloudsuite/internal/core"
+	"cloudsuite/internal/obs"
 	"cloudsuite/internal/report"
 )
 
@@ -85,6 +95,8 @@ func main() {
 		invar     = flag.Int("invariants", 0, "check coherence invariants every N memory accesses (0 = off; observer only, output unchanged)")
 		jsonOut   = flag.Bool("json", false, "machine-readable JSON output (per-figure rows + runner stats)")
 		ckptDir   = flag.String("checkpoint-dir", "", "warm-state checkpoint directory: fork runs from cached warm images and persist new ones")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and live metrics on this address (e.g. 127.0.0.1:6060)")
+		obsOut    = flag.String("obs-out", "", "write PREFIX.metrics.json and PREFIX.trace.json (Chrome trace_event) on exit")
 	)
 	flag.Parse()
 
@@ -107,6 +119,32 @@ func main() {
 			fail(err)
 		}
 		runner.SetCheckpoints(cs)
+	}
+	// Observability: armed by either profiling flag, disarmed (nil, all
+	// recording no-ops) otherwise. Pure observer — figure bytes are
+	// identical either way.
+	var ob *obs.Observer
+	if *pprofAddr != "" || *obsOut != "" {
+		ob = obs.New()
+		runner.SetObserver(ob)
+	}
+	if *pprofAddr != "" {
+		addr, err := obs.Serve(*pprofAddr, ob)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "obs: profiling endpoint on http://%s/debug/pprof/ (metrics at /metrics)\n", addr)
+	}
+	// dumpObs runs on every exit path that has results worth profiling —
+	// including the -check failure exit, where the sweep still ran.
+	dumpObs := func() {
+		if *obsOut == "" {
+			return
+		}
+		if err := ob.WriteFiles(*obsOut); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "obs: wrote %s.metrics.json and %s.trace.json\n", *obsOut, *obsOut)
 	}
 
 	want := map[string]bool{}
@@ -147,6 +185,7 @@ func main() {
 		if *progress {
 			reportStats(runner)
 		}
+		dumpObs()
 		if !ok {
 			os.Exit(1)
 		}
@@ -252,6 +291,7 @@ func main() {
 	if *progress {
 		reportStats(runner)
 	}
+	dumpObs()
 }
 
 // reportStats prints the runner's work accounting and, when a
@@ -279,10 +319,15 @@ func emitJSON(doc *jsonDoc) {
 	}
 }
 
-// progressLine renders one in-place progress line on stderr.
+// progressLine renders one in-place progress line on stderr, tagged
+// with the request's provenance (memo hit, checkpoint fork, cold run)
+// and wall-clock cost when known.
 func progressLine(ev core.ProgressEvent) {
 	tag := ""
-	if ev.Cached {
+	switch {
+	case ev.Source != "":
+		tag = fmt.Sprintf(" (%s, %s)", ev.Source, ev.Duration.Round(time.Millisecond))
+	case ev.Cached:
 		tag = " (cached)"
 	}
 	fmt.Fprintf(os.Stderr, "\r\033[K%4d/%-4d %s%s", ev.Done, ev.Total, ev.Bench, tag)

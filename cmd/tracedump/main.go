@@ -7,10 +7,15 @@
 //
 // Usage:
 //
-//	tracedump -bench "Data Serving" [-insts 500000] [-threads 1] [-seed 1]
+//	tracedump -bench "Data Serving" [-insts 500000] [-threads 1] [-seed 1] [-json]
+//
+// -json replaces the text tables with one machine-readable JSON object
+// (full operation mix, footprints, and dependence histogram) for
+// scripted comparisons across workloads.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +31,7 @@ func main() {
 		insts   = flag.Int("insts", 500_000, "instructions to inspect per thread")
 		threads = flag.Int("threads", 1, "software threads")
 		seed    = flag.Int64("seed", 1, "random seed")
+		jsonOut = flag.Bool("json", false, "machine-readable JSON output instead of text tables")
 	)
 	flag.Parse()
 
@@ -58,7 +64,11 @@ func main() {
 			remaining -= n
 		}
 	}
-	s.render(w.Name())
+	if *jsonOut {
+		s.renderJSON(w.Name())
+	} else {
+		s.render(w.Name())
+	}
 }
 
 type stats struct {
@@ -138,21 +148,41 @@ func bucket(d int32) int {
 	}
 }
 
+// alu is the residual operation class: plain integer ALU and other
+// non-memory, non-branch, non-FP/mul work.
+func (s *stats) alu() int {
+	return s.total - s.loads - s.stores - s.branches - s.fp - s.mul
+}
+
+// pctOf is a share of the total instruction count, in percent.
+func (s *stats) pctOf(n int) float64 { return 100 * float64(n) / float64(max(1, s.total)) }
+
 func (s *stats) render(name string) {
-	pct := func(n int) string { return fmt.Sprintf("%.1f%%", 100*float64(n)/float64(s.total)) }
+	pct := func(n int) string { return fmt.Sprintf("%.1f%%", s.pctOf(n)) }
 	t := report.Table{Title: "Trace profile: " + name, Header: []string{"metric", "value"}}
 	t.Add("instructions", fmt.Sprint(s.total))
-	t.Add("loads", pct(s.loads))
-	t.Add("stores", pct(s.stores))
-	t.Add("branches", pct(s.branches))
-	t.Add("  taken", fmt.Sprintf("%.1f%% of branches", 100*float64(s.taken)/float64(max(1, s.branches))))
-	t.Add("floating point", pct(s.fp))
 	t.Add("kernel mode", pct(s.kernel))
 	t.Add("pointer-chasing loads", fmt.Sprintf("%.1f%% of loads", 100*float64(s.chases)/float64(max(1, s.loads))))
 	t.Add("user code footprint", kb(len(s.codeLines)*64))
 	t.Add("kernel code footprint", kb(len(s.kernCodeLines)*64))
 	t.Add("data footprint touched", kb(len(s.dataLines)*64))
 	t.Render(os.Stdout)
+
+	// Operation mix: every committed instruction lands in exactly one
+	// class, so the shares sum to 100%.
+	mix := report.Table{Title: "Operation mix", Header: []string{"op", "share", ""}}
+	for _, row := range []struct {
+		name string
+		n    int
+	}{
+		{"load", s.loads}, {"store", s.stores}, {"branch", s.branches},
+		{"fp", s.fp}, {"mul", s.mul}, {"alu/other", s.alu()},
+	} {
+		frac := float64(row.n) / float64(max(1, s.total))
+		mix.Add(row.name, fmt.Sprintf("%.1f%%", 100*frac), report.Bar(frac, 1, 30))
+	}
+	mix.Add("  taken branches", fmt.Sprintf("%.1f%% of branches", 100*float64(s.taken)/float64(max(1, s.branches))), "")
+	mix.Render(os.Stdout)
 
 	labels := []string{"1", "2", "3-4", "5-8", "9-16", "17-48", "49-128", ">128"}
 	var depTotal int
@@ -165,6 +195,63 @@ func (s *stats) render(name string) {
 		h.Add(labels[i], fmt.Sprintf("%.1f%%", 100*frac), report.Bar(frac, 0.5, 30))
 	}
 	h.Render(os.Stdout)
+}
+
+// jsonProfile is the -json output: one object per invocation with the
+// complete operation mix (shares in percent of all instructions, except
+// where named otherwise), footprints in bytes, and the
+// dependence-distance histogram.
+type jsonProfile struct {
+	Bench        string  `json:"bench"`
+	Instructions int     `json:"instructions"`
+	LoadPct      float64 `json:"load_pct"`
+	StorePct     float64 `json:"store_pct"`
+	BranchPct    float64 `json:"branch_pct"`
+	FPPct        float64 `json:"fp_pct"`
+	MulPct       float64 `json:"mul_pct"`
+	ALUPct       float64 `json:"alu_pct"`
+	KernelPct    float64 `json:"kernel_pct"`
+	TakenPct     float64 `json:"taken_pct_of_branches"`
+	ChasePct     float64 `json:"pointer_chase_pct_of_loads"`
+	UserCode     int     `json:"user_code_bytes"`
+	KernelCode   int     `json:"kernel_code_bytes"`
+	Data         int     `json:"data_bytes"`
+	DepHist      []struct {
+		Distance string `json:"distance"`
+		Count    int    `json:"count"`
+	} `json:"dep_hist"`
+}
+
+func (s *stats) renderJSON(name string) {
+	doc := jsonProfile{
+		Bench:        name,
+		Instructions: s.total,
+		LoadPct:      s.pctOf(s.loads),
+		StorePct:     s.pctOf(s.stores),
+		BranchPct:    s.pctOf(s.branches),
+		FPPct:        s.pctOf(s.fp),
+		MulPct:       s.pctOf(s.mul),
+		ALUPct:       s.pctOf(s.alu()),
+		KernelPct:    s.pctOf(s.kernel),
+		TakenPct:     100 * float64(s.taken) / float64(max(1, s.branches)),
+		ChasePct:     100 * float64(s.chases) / float64(max(1, s.loads)),
+		UserCode:     len(s.codeLines) * 64,
+		KernelCode:   len(s.kernCodeLines) * 64,
+		Data:         len(s.dataLines) * 64,
+	}
+	labels := []string{"1", "2", "3-4", "5-8", "9-16", "17-48", "49-128", ">128"}
+	for i, n := range s.depHist {
+		doc.DepHist = append(doc.DepHist, struct {
+			Distance string `json:"distance"`
+			Count    int    `json:"count"`
+		}{labels[i], n})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
 
 func kb(bytes int) string {

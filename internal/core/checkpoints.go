@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"cloudsuite/internal/obs"
 	"cloudsuite/internal/sim/checkpoint"
 )
 
@@ -66,6 +67,43 @@ type CheckpointStore struct {
 	mu    sync.Mutex
 	cells map[string]*ckptCell
 	stats CheckpointStats
+	met   ckptMetrics
+}
+
+// ckptMetrics holds the store's pre-resolved metric handles. All fields
+// are nil until SetObserver arms them; nil handles no-op.
+type ckptMetrics struct {
+	memHits   *obs.Counter
+	diskHits  *obs.Counter
+	saves     *obs.Counter
+	failures  *obs.Counter
+	saveBytes *obs.Counter   // serialized image bytes written to disk or memory
+	loadBytes *obs.Counter   // serialized image bytes loaded from disk
+	saveWall  *obs.Histogram // disk-write wall time per image
+	loadWall  *obs.Histogram // disk-load (read + hash verify) wall time per image
+}
+
+// SetObserver arms the store with observability sinks: hit/save/failure
+// counters, image byte volumes, and disk I/O wall-time histograms land
+// in the observer's registry. A pure observer — it never changes which
+// image a run forks from. Safe on a nil store; pass nil to disarm.
+func (s *CheckpointStore) SetObserver(o *obs.Observer) {
+	if s == nil {
+		return
+	}
+	reg := o.Registry()
+	s.mu.Lock()
+	s.met = ckptMetrics{
+		memHits:   reg.Counter("ckpt.hits.memory"),
+		diskHits:  reg.Counter("ckpt.hits.disk"),
+		saves:     reg.Counter("ckpt.saves"),
+		failures:  reg.Counter("ckpt.failures"),
+		saveBytes: reg.Counter("ckpt.save_bytes"),
+		loadBytes: reg.Counter("ckpt.load_bytes"),
+		saveWall:  reg.Histogram("ckpt.save_wall"),
+		loadWall:  reg.Histogram("ckpt.load_wall"),
+	}
+	s.mu.Unlock()
 }
 
 // NewCheckpointStore returns a store backed by dir; an empty dir keeps
@@ -109,7 +147,9 @@ func (s *CheckpointStore) acquire(key string) (snap *checkpoint.Snapshot, commit
 			if cell.snap != nil {
 				s.mu.Lock()
 				s.stats.MemoryHits++
+				met := s.met
 				s.mu.Unlock()
+				met.memHits.Inc()
 				return cell.snap, nil
 			}
 			// The producer failed before the warm boundary and removed
@@ -125,17 +165,32 @@ func (s *CheckpointStore) acquire(key string) (snap *checkpoint.Snapshot, commit
 		// acquires. The in-flight cell already parks other requesters
 		// for this key.
 		if s.dir != "" {
+			loadStart := obs.Now()
 			if loaded := s.tryDisk(key); loaded != nil {
 				s.mu.Lock()
 				cell.snap = loaded
 				s.stats.DiskHits++
+				met := s.met
 				s.mu.Unlock()
+				met.diskHits.Inc()
+				met.loadBytes.Add(int64(loaded.Size()))
+				met.loadWall.Observe(int64(obs.Since(loadStart)))
 				close(cell.done)
 				return loaded, nil
 			}
 		}
 		return nil, func(snap *checkpoint.Snapshot) { s.commit(key, cell, snap) }
 	}
+}
+
+// recordFailure counts one snapshot load/store/restore problem in both
+// the store's stats and, when armed, the observer's registry.
+func (s *CheckpointStore) recordFailure() {
+	s.mu.Lock()
+	s.stats.Failures++
+	met := s.met
+	s.mu.Unlock()
+	met.failures.Inc()
 }
 
 // tryDisk loads and verifies an on-disk image for key. Missing files
@@ -145,17 +200,13 @@ func (s *CheckpointStore) tryDisk(key string) *checkpoint.Snapshot {
 	snap, err := checkpoint.LoadFile(s.path(key))
 	if err != nil {
 		if !os.IsNotExist(err) {
-			s.mu.Lock()
-			s.stats.Failures++
-			s.mu.Unlock()
+			s.recordFailure()
 		}
 		return nil
 	}
 	if snap.Key() != key {
 		// A hash collision or a foreign file; never restore from it.
-		s.mu.Lock()
-		s.stats.Failures++
-		s.mu.Unlock()
+		s.recordFailure()
 		return nil
 	}
 	return snap
@@ -177,13 +228,17 @@ func (s *CheckpointStore) commit(key string, cell *ckptCell, snap *checkpoint.Sn
 	}
 	cell.snap = snap
 	s.stats.Saves++
+	met := s.met
 	s.mu.Unlock()
 	close(cell.done)
+	met.saves.Inc()
+	met.saveBytes.Add(int64(snap.Size()))
 	if s.dir != "" {
-		if err := snap.SaveFile(s.path(key)); err != nil {
-			s.mu.Lock()
-			s.stats.Failures++
-			s.mu.Unlock()
+		saveStart := obs.Now()
+		err := snap.SaveFile(s.path(key))
+		met.saveWall.Observe(int64(obs.Since(saveStart)))
+		if err != nil {
+			s.recordFailure()
 		}
 	}
 }
@@ -199,10 +254,12 @@ func (s *CheckpointStore) commit(key string, cell *ckptCell, snap *checkpoint.Sn
 func (s *CheckpointStore) invalidate(key string, bad *checkpoint.Snapshot) {
 	s.mu.Lock()
 	s.stats.Failures++
+	met := s.met
 	if cell, ok := s.cells[key]; ok && cell.snap == bad {
 		delete(s.cells, key)
 	}
 	s.mu.Unlock()
+	met.failures.Inc()
 	if s.dir == "" {
 		return
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"cloudsuite/internal/obs"
 	"cloudsuite/internal/sim/cache"
 	"cloudsuite/internal/sim/checkpoint"
 	"cloudsuite/internal/sim/counters"
@@ -99,6 +100,14 @@ type Options struct {
 	// field is excluded from the memoization key.
 	//simlint:ok memokey pure observer: can veto a run by panicking but never changes its counters
 	InvariantChecks int
+	// Obs, when non-nil, observes the measurement: per-phase wall-time
+	// attribution into the observer's registry plus one trace track for
+	// the run (see internal/obs). Armed runs are byte-identical to
+	// unarmed ones — the differential tests in obs_test.go gate it — so
+	// this field is excluded from the memoization key: it changes what
+	// is recorded about a run, never the run.
+	//simlint:ok memokey pure observer (armed runs byte-identical to unarmed, differential-tested); records wall time, never results
+	Obs *obs.Observer
 }
 
 // DefaultOptions returns the paper's baseline measurement setup scaled
@@ -129,7 +138,18 @@ type Measurement struct {
 	// aggregated over the workload cores exactly like the top-level
 	// Counters (nil for contiguous measurements).
 	Samples []IntervalSample
+
+	// warmSource records how the run reached its warm state ("cold" or
+	// "checkpoint-fork"). Unexported — and therefore JSON-invisible — on
+	// purpose: restored runs are byte-identical to cold runs, and the CI
+	// checkpointing job diffs their serialized figures to prove it.
+	warmSource string
 }
+
+// WarmSource reports how the run reached its warm state: "cold" or
+// "checkpoint-fork". Provenance only — the result is identical either
+// way — so it feeds progress reporting and metrics, never figures.
+func (m *Measurement) WarmSource() string { return m.warmSource }
 
 // IntervalSample is one measurement interval of a sampled run.
 type IntervalSample struct {
@@ -173,6 +193,10 @@ func Measure(w workloads.Workload, o Options) (*Measurement, error) {
 	if err := c.validate(); err != nil {
 		return nil, err
 	}
+	// Run observation (no-op when disarmed): opened before workload
+	// startup so setup time is attributed, finished on every exit path.
+	ro := o.Obs.StartRun(w.Name(), c.label())
+	defer ro.Finish()
 	machine := &c.machine
 
 	if c.cores > machine.Mem.TotalCores() ||
@@ -232,6 +256,7 @@ func Measure(w workloads.Workload, o Options) (*Measurement, error) {
 		MeasureInsts:         c.measureInsts,
 		MaxCycles:            c.measureInsts * int64(nThreads) * 40,
 		CheckInvariantsEvery: o.InvariantChecks,
+		Obs:                  ro,
 	}
 	if c.sampling.Enabled() {
 		// Sampled mode: N timed intervals of IntervalInsts each, every
@@ -267,11 +292,13 @@ func Measure(w workloads.Workload, o Options) (*Measurement, error) {
 	// warm->measure boundary for later runs (and for concurrent runs
 	// waiting on this warm-up — the store is a mid-run singleflight).
 	var ckptKey string
+	warmSource := "cold"
 	if o.Checkpoints != nil {
 		ckptKey = checkpointKey(w.Name(), c)
 		snap, commit := o.Checkpoints.acquire(ckptKey)
 		if snap != nil {
 			cfg.Restore = snap
+			warmSource = "checkpoint-fork"
 		} else {
 			cfg.CheckpointKey = ckptKey
 			committed := false
@@ -288,6 +315,7 @@ func Measure(w workloads.Workload, o Options) (*Measurement, error) {
 			}()
 		}
 	}
+	ro.SetSource(warmSource)
 	res, err := engine.Run(cfg, threads)
 	if err != nil {
 		if cfg.Restore != nil {
@@ -308,7 +336,7 @@ func Measure(w workloads.Workload, o Options) (*Measurement, error) {
 	total.DRAMBusyCycles = res.Total.DRAMBusyCycles
 	total.DRAMTotalCycles = res.Total.DRAMTotalCycles
 	total.DRAMChannels = res.Total.DRAMChannels
-	m := &Measurement{Counters: total, WindowCycles: res.Cycles, BenchName: w.Name()}
+	m := &Measurement{Counters: total, WindowCycles: res.Cycles, BenchName: w.Name(), warmSource: warmSource}
 	for _, iv := range res.Intervals {
 		agg := aggregateCores(iv.PerCore, coreOf)
 		agg.DRAMBusyCycles = iv.DRAMBusyCycles

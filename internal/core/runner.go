@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
+	"cloudsuite/internal/obs"
 	"cloudsuite/internal/sim/sample"
 )
 
@@ -35,6 +37,16 @@ type ProgressEvent struct {
 	// waiting on an identical in-flight run) rather than by a fresh
 	// simulation.
 	Cached bool
+	// Source says where the result came from: "memo" (cache or in-flight
+	// duplicate), "checkpoint-fork" (fresh run restored from a warm
+	// image), or "cold" (fresh run warmed from scratch). Empty when the
+	// request errored before its source was established.
+	Source string
+	// Duration is the request's wall-clock resolution time: simulation
+	// time for fresh runs, wait time for memoized ones. Observer-side
+	// provenance only (stamped through internal/obs) — it never feeds
+	// back into scheduling or results.
+	Duration time.Duration
 	// Err is the measurement error, if any.
 	Err error
 }
@@ -143,6 +155,19 @@ func canonicalize(o Options) canonicalOptions {
 	return c
 }
 
+// label renders the canonical configuration as a short human-readable
+// string: the "config" argument of the run-level trace span. Purely
+// descriptive — the memoization key stays canonicalOptions itself.
+func (c *canonicalOptions) label() string {
+	s := fmt.Sprintf("machine=%s cores=%d smt=%t split=%t pollute=%d warm=%d measure=%d seed=%d",
+		c.machine.Name, c.cores, c.smt, c.splitSockets,
+		c.polluteBytes, c.warmupInsts, c.measureInsts, c.seed)
+	if c.sampling.Enabled() {
+		s += fmt.Sprintf(" intervals=%d", c.sampling.Intervals)
+	}
+	return s
+}
+
 // validate guards the canonical form against budgets the engine cannot
 // schedule (the defaulting above only fills zeros, so negatives and
 // malformed sampling specs survive to here and must be rejected with a
@@ -187,7 +212,50 @@ type Runner struct {
 	mu    sync.Mutex
 	cache map[measureKey]*cacheCell
 	ckpts *CheckpointStore
-	stats RunnerStats
+	ob    *obs.Observer
+	met   runnerMetrics
+
+	// statsMu guards stats alone, so Stats() snapshots are consistent
+	// without contending on the cache lock, and every transition happens
+	// in one critical section: any snapshot satisfies
+	// Requests == Runs + CacheHits exactly (the -race hammer test in
+	// obs_test.go holds the Runner to this).
+	statsMu sync.Mutex
+	stats   RunnerStats
+}
+
+// runnerMetrics holds the Runner's pre-resolved metric handles. All
+// fields are nil when no observer is installed; nil handles no-op, so
+// recording sites carry no arming branches.
+type runnerMetrics struct {
+	requests    *obs.Counter
+	memoHits    *obs.Counter
+	runsCold    *obs.Counter
+	runsFork    *obs.Counter
+	errors      *obs.Counter
+	measureWall *obs.Histogram // fresh-run simulation wall time
+	queueWait   *obs.Histogram // submission -> worker-pickup latency
+}
+
+func resolveRunnerMetrics(o *obs.Observer) runnerMetrics {
+	reg := o.Registry()
+	return runnerMetrics{
+		requests:    reg.Counter("runner.requests"),
+		memoHits:    reg.Counter("runner.memo_hits"),
+		runsCold:    reg.Counter("runner.runs.cold"),
+		runsFork:    reg.Counter("runner.runs.checkpoint_fork"),
+		errors:      reg.Counter("runner.errors"),
+		measureWall: reg.Histogram("runner.measure_wall"),
+		queueWait:   reg.Histogram("runner.queue_wait"),
+	}
+}
+
+// runResult describes how one request was satisfied, for progress
+// reporting: provenance and wall-clock cost, never results.
+type runResult struct {
+	cached bool
+	source string
+	dur    time.Duration
 }
 
 // NewRunner returns a Runner with the given worker-pool width.
@@ -223,7 +291,11 @@ func (r *Runner) SetProgress(f ProgressFunc) {
 func (r *Runner) SetCheckpoints(cs *CheckpointStore) {
 	r.mu.Lock()
 	r.ckpts = cs
+	ob := r.ob
 	r.mu.Unlock()
+	if ob != nil {
+		cs.SetObserver(ob)
+	}
 }
 
 // Checkpoints returns the store installed by SetCheckpoints, if any.
@@ -233,10 +305,35 @@ func (r *Runner) Checkpoints() *CheckpointStore {
 	return r.ckpts
 }
 
-// Stats returns a snapshot of the runner's counters.
-func (r *Runner) Stats() RunnerStats {
+// SetObserver arms the Runner with an observability sink: per-request
+// counters and wall-time histograms land in the observer's registry,
+// and the observer propagates to measurements (Options.Obs) and to the
+// checkpoint store, if one is installed. Observation is a pure
+// observer — armed runs produce byte-identical results to unarmed ones
+// (differential-tested). Pass nil to disarm.
+func (r *Runner) SetObserver(o *obs.Observer) {
+	r.mu.Lock()
+	r.ob = o
+	r.met = resolveRunnerMetrics(o)
+	cs := r.ckpts
+	r.mu.Unlock()
+	cs.SetObserver(o)
+}
+
+// Observer returns the observer installed by SetObserver, if any.
+func (r *Runner) Observer() *obs.Observer {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.ob
+}
+
+// Stats returns a snapshot of the runner's counters. Every counter
+// transition is a single critical section, so any snapshot is
+// internally consistent: Requests == Runs + CacheHits holds exactly,
+// even while MeasureAll is in flight.
+func (r *Runner) Stats() RunnerStats {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
 	return r.stats
 }
 
@@ -266,10 +363,13 @@ func (r *Runner) MeasureAll(reqs []MeasureRequest) ([]*Measurement, error) {
 	// this submission Done never goes backwards, so the final event is
 	// the last one this submission delivers.
 	var doneCount int
-	report := func(req MeasureRequest, cached bool, err error) {
+	report := func(req MeasureRequest, rr runResult, err error) {
 		r.progMu.Lock()
 		doneCount++
-		r.emit(ProgressEvent{Bench: req.Bench.Name, Done: doneCount, Total: n, Cached: cached, Err: err})
+		r.emit(ProgressEvent{
+			Bench: req.Bench.Name, Done: doneCount, Total: n,
+			Cached: rr.cached, Source: rr.source, Duration: rr.dur, Err: err,
+		})
 		r.progMu.Unlock()
 	}
 
@@ -289,15 +389,24 @@ func (r *Runner) MeasureAll(reqs []MeasureRequest) ([]*Measurement, error) {
 		}
 	}
 
+	// Queue-wait latency: every unique request stamps the submission
+	// boundary; the histogram records how long it sat before a worker
+	// picked it up (observer-side wall clock through internal/obs).
+	r.mu.Lock()
+	met := r.met
+	r.mu.Unlock()
+	submitted := obs.Now()
+
 	workers := r.workers
 	if workers > len(uniq) {
 		workers = len(uniq)
 	}
 	if workers <= 1 {
 		for _, i := range uniq {
-			m, cached, err := r.measureOne(reqs[i])
+			met.queueWait.Observe(int64(obs.Since(submitted)))
+			m, rr, err := r.measureOne(reqs[i])
 			results[i], errs[i] = m, err
-			report(reqs[i], cached, err)
+			report(reqs[i], rr, err)
 		}
 	} else {
 		idx := make(chan int)
@@ -307,10 +416,11 @@ func (r *Runner) MeasureAll(reqs []MeasureRequest) ([]*Measurement, error) {
 			go func() {
 				defer wg.Done()
 				for i := range idx {
+					met.queueWait.Observe(int64(obs.Since(submitted)))
 					req := reqs[i]
-					m, cached, err := r.measureOne(req)
+					m, rr, err := r.measureOne(req)
 					results[i], errs[i] = m, err
-					report(req, cached, err)
+					report(req, rr, err)
 				}
 			}()
 		}
@@ -321,9 +431,9 @@ func (r *Runner) MeasureAll(reqs []MeasureRequest) ([]*Measurement, error) {
 		wg.Wait()
 	}
 	for _, i := range dups {
-		m, cached, err := r.measureOne(reqs[i])
+		m, rr, err := r.measureOne(reqs[i])
 		results[i], errs[i] = m, err
-		report(reqs[i], cached, err)
+		report(reqs[i], rr, err)
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -334,32 +444,47 @@ func (r *Runner) MeasureAll(reqs []MeasureRequest) ([]*Measurement, error) {
 }
 
 // measureOne resolves one request against the cache, running the
-// simulation if this is the first request for its key. It reports
-// whether the result came from the cache.
-func (r *Runner) measureOne(req MeasureRequest) (*Measurement, bool, error) {
+// simulation if this is the first request for its key. It reports how
+// the result was obtained (cache vs fresh, warm source, wall time).
+func (r *Runner) measureOne(req MeasureRequest) (*Measurement, runResult, error) {
+	start := obs.Now()
 	key := measureKey{bench: req.Bench.Name, opt: canonicalize(req.Options)}
 	r.mu.Lock()
-	r.stats.Requests++
+	met := r.met
+	ob := r.ob
 	cell, ok := r.cache[key]
 	if ok {
-		r.stats.CacheHits++
 		r.mu.Unlock()
+		r.statsMu.Lock()
+		r.stats.Requests++
+		r.stats.CacheHits++
+		r.statsMu.Unlock()
+		met.requests.Inc()
+		met.memoHits.Inc()
 		<-cell.done
+		rr := runResult{cached: true, source: "memo", dur: obs.Since(start)}
 		if cell.err != nil {
-			return nil, true, cell.err
+			return nil, rr, cell.err
 		}
 		m := *cell.m // copy so callers cannot corrupt the cache
-		return &m, true, nil
+		return &m, rr, nil
 	}
 	cell = &cacheCell{done: make(chan struct{})}
 	r.cache[key] = cell
-	r.stats.Runs++
 	ckpts := r.ckpts
 	r.mu.Unlock()
+	r.statsMu.Lock()
+	r.stats.Requests++
+	r.stats.Runs++
+	r.statsMu.Unlock()
+	met.requests.Inc()
 
 	opts := req.Options
 	if opts.Checkpoints == nil {
 		opts.Checkpoints = ckpts
+	}
+	if opts.Obs == nil {
+		opts.Obs = ob
 	}
 
 	// A slot is held only while the simulation executes — never while
@@ -369,21 +494,35 @@ func (r *Runner) measureOne(req MeasureRequest) (*Measurement, bool, error) {
 	// own slot and resolves the wait at its warm boundary, never the
 	// other way around, so that wait cannot cycle either.)
 	r.slots <- struct{}{}
+	runStart := obs.Now()
 	cell.m, cell.err = MeasureBench(req.Bench, opts)
+	met.measureWall.Observe(int64(obs.Since(runStart)))
 	<-r.slots
-	r.mu.Lock()
+	r.statsMu.Lock()
 	if cell.err != nil {
 		r.stats.Errors++
 	} else {
 		r.stats.MeasuredInsts += int64(cell.m.Commits())
 	}
-	r.mu.Unlock()
-	close(cell.done)
+	r.statsMu.Unlock()
+	rr := runResult{}
 	if cell.err != nil {
-		return nil, false, cell.err
+		met.errors.Inc()
+	} else {
+		rr.source = cell.m.WarmSource()
+		if rr.source == "checkpoint-fork" {
+			met.runsFork.Inc()
+		} else {
+			met.runsCold.Inc()
+		}
+	}
+	close(cell.done)
+	rr.dur = obs.Since(start)
+	if cell.err != nil {
+		return nil, rr, cell.err
 	}
 	m := *cell.m
-	return &m, false, nil
+	return &m, rr, nil
 }
 
 // MeasureBench measures one benchmark through the runner's cache.

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 
+	"cloudsuite/internal/obs"
 	"cloudsuite/internal/sim/bpred"
 	"cloudsuite/internal/sim/cache"
 	"cloudsuite/internal/sim/checkpoint"
@@ -133,6 +134,17 @@ type RunConfig struct {
 	// smoke runs at new scales can assert the directory's correctness
 	// in-line.
 	CheckInvariantsEvery int
+
+	// Obs, when non-nil, observes the run: wall time is attributed to
+	// phases (functional warming, detailed warming, timed windows,
+	// trace generation, checkpoint save/restore/replay) in the
+	// observer's registry, and coarse spans land on the run's trace
+	// track. Observation is a pure observer — it reads the wall clock
+	// and writes only observer state, so an armed run is byte-identical
+	// to an unarmed one (differential-tested). Attribution is exclusive
+	// at phase boundaries only: the per-cycle simulation loop never
+	// touches it.
+	Obs *obs.RunObs
 }
 
 // IntervalResult is one timed measurement window of a sampled run: the
@@ -215,6 +227,12 @@ type context struct {
 	// target is the cumulative commit count that ends the current timed
 	// window for this context.
 	target uint64
+
+	// ro observes batch pulls: time inside gen.Next is carved out of
+	// the ambient phase and attributed to trace generation. Nil when
+	// observability is disarmed (the nil check costs once per
+	// 4096-instruction batch, never per instruction).
+	ro *obs.RunObs
 }
 
 type core struct {
@@ -240,7 +258,13 @@ func (c *context) peek() (*trace.Inst, bool) {
 		if c.eof {
 			return nil, false
 		}
-		c.bufLen = c.gen.Next(c.buf)
+		if c.ro != nil {
+			prev := c.ro.Enter(obs.PhaseTraceGen)
+			c.bufLen = c.gen.Next(c.buf)
+			c.ro.Enter(prev)
+		} else {
+			c.bufLen = c.gen.Next(c.buf)
+		}
 		c.bufPos = 0
 		if c.bufLen == 0 {
 			c.eof = true
@@ -330,6 +354,7 @@ func Run(cfg RunConfig, threads []Thread) (*Result, error) {
 				measured: t.Measured, tid: ti,
 				window:        make([]entry, winPer),
 				pendingBranch: -1,
+				ro:            cfg.Obs,
 			}
 			co.ctxs = append(co.ctxs, ctx)
 		}
@@ -347,23 +372,43 @@ func Run(cfg RunConfig, threads []Thread) (*Result, error) {
 	// the warmed machine state loads from the snapshot.
 	clock := int64(0)
 	if cfg.Restore != nil {
+		// Replay + restore instead of warming. Metric attribution: the
+		// fast-forward loop is ckpt_replay, but generation inside it
+		// lands in trace_gen (the carve-out in peek) — deliberately, so
+		// the breakdown shows that replay cost IS trace generation. The
+		// coarse spans are inclusive wall intervals.
+		span := cfg.Obs.SpanStart()
+		prev := cfg.Obs.Enter(obs.PhaseCkptReplay)
 		for _, co := range cores {
 			for _, ctx := range co.ctxs {
 				skipThread(ctx, cfg.WarmupInsts)
 			}
 		}
-		if err := restoreMachine(cfg.Restore, cfg, cores, mem, &clock); err != nil {
+		cfg.Obs.SpanEnd("ckpt-replay", span)
+		span = cfg.Obs.SpanStart()
+		cfg.Obs.Enter(obs.PhaseCkptRestore)
+		err := restoreMachine(cfg.Restore, cfg, cores, mem, &clock)
+		cfg.Obs.SpanEnd("ckpt-restore", span)
+		cfg.Obs.Enter(prev)
+		if err != nil {
 			return nil, err
 		}
 	} else {
+		span := cfg.Obs.SpanStart()
+		prev := cfg.Obs.Enter(obs.PhaseFuncWarm)
 		for _, co := range cores {
 			for _, ctx := range co.ctxs {
 				co.warmThread(ctx, mem, cfg.WarmupInsts, &clock)
 			}
 		}
+		cfg.Obs.SpanEnd("warm", span)
 		if cfg.Checkpoint != nil {
+			span = cfg.Obs.SpanStart()
+			cfg.Obs.Enter(obs.PhaseCkptSave)
 			cfg.Checkpoint(saveMachine(cfg, clock, cores, mem))
+			cfg.Obs.SpanEnd("ckpt-save", span)
 		}
+		cfg.Obs.Enter(prev)
 	}
 
 	nWindows := cfg.Intervals
@@ -385,19 +430,33 @@ func Run(cfg RunConfig, threads []Thread) (*Result, error) {
 	snapshots := make([]counters.Counters, totalCores)
 	var totalBusy uint64
 
+	windowPhase := obs.PhaseTimedWindow
+	windowSpan := "window"
+	if cfg.Intervals >= 1 {
+		windowPhase = obs.PhaseSampleInterval
+		windowSpan = "interval"
+	}
 	for iv := 0; iv < nWindows; iv++ {
 		if iv > 0 {
+			span := cfg.Obs.SpanStart()
+			prev := cfg.Obs.Enter(obs.PhaseFuncWarm)
 			for _, co := range cores {
 				for _, ctx := range co.ctxs {
 					co.warmThread(ctx, mem, cfg.IntervalWarmInsts, &clock)
 				}
 			}
+			cfg.Obs.Enter(prev)
+			cfg.Obs.SpanEnd("interval-warm", span)
 		}
 		if cfg.Intervals >= 1 && cfg.DetailWarmInsts > 0 {
 			// Detailed warming: execute a pre-window quantum under full
 			// timing before the snapshot, so the measured window starts
 			// from steady-state pipeline state.
+			span := cfg.Obs.SpanStart()
+			prev := cfg.Obs.Enter(obs.PhaseDetailWarm)
 			clock = runQuantum(cores, mem, cfg, clock, uint64(cfg.DetailWarmInsts)*uint64(nMeasured))
+			cfg.Obs.Enter(prev)
+			cfg.Obs.SpanEnd("detail-warm", span)
 		}
 		// Window stop condition. Contiguous mode preserves the paper's
 		// per-thread contract: the window ends when every measured thread
@@ -423,6 +482,8 @@ func Run(cfg RunConfig, threads []Thread) (*Result, error) {
 		mem.DRAMResetQueues(clock)
 		dramBusyStart := mem.DRAMBusyCycles()
 
+		wspan := cfg.Obs.SpanStart()
+		wprev := cfg.Obs.Enter(windowPhase)
 		now := clock
 		start := now
 		active := true
@@ -463,6 +524,8 @@ func Run(cfg RunConfig, threads []Thread) (*Result, error) {
 				}
 			}
 		}
+		cfg.Obs.Enter(wprev)
+		cfg.Obs.SpanEnd(windowSpan, wspan)
 		clock = now
 		res.Cycles += now - start
 
