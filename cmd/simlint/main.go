@@ -8,6 +8,7 @@
 //	go run ./cmd/simlint ./...          # standalone over package patterns
 //	go vet -vettool=$(which simlint) ./...
 //	simlint -maporder ./...             # run a subset of analyzers
+//	simlint -suppressions [dir]         # audit table of all annotations
 //
 // Standalone invocations re-exec through `go vet -vettool=<self>`, so
 // both entry points share one code path: the go command compiles the
@@ -41,6 +42,8 @@ func main() {
 	// invalidate vet results whenever the analyzers change.
 	versionFlag := flag.String("V", "", "print version (go command tool protocol)")
 	flagsFlag := flag.Bool("flags", false, "print analyzer flags in JSON (go vet protocol)")
+	suppressionsFlag := flag.Bool("suppressions", false,
+		"print the audit table of every //simlint:ok and //simlint:replay annotation under the argument directory (default .) and exit")
 	enabled := map[string]*bool{}
 	for _, a := range analysis.All {
 		enabled[a.Name] = flag.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+firstLine(a.Doc))
@@ -54,6 +57,8 @@ func main() {
 	case *flagsFlag:
 		printFlagsJSON()
 		return
+	case *suppressionsFlag:
+		os.Exit(printSuppressions(flag.Args()))
 	}
 
 	args := flag.Args()
@@ -87,6 +92,23 @@ func selectAnalyzers(enabled map[string]*bool) []*analysis.Analyzer {
 		}
 	}
 	return out
+}
+
+// printSuppressions answers `simlint -suppressions [dir]`: the
+// purely-syntactic annotation audit (no type checking, no go command),
+// rendered as the markdown table DESIGN.md §8 embeds.
+func printSuppressions(args []string) int {
+	root := "."
+	if len(args) > 0 {
+		root = args[0]
+	}
+	sups, err := analysis.ListSuppressions(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		return 1
+	}
+	fmt.Print(analysis.FormatSuppressions(sups))
+	return 0
 }
 
 // runStandalone re-executes as a go vet backend so package loading,

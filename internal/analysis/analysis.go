@@ -114,6 +114,7 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 	}
 	out = append(out, anns.malformed...)
+	out = append(out, anns.staleSuppressions(analyzers)...)
 	sort.SliceStable(out, func(i, j int) bool {
 		pi, pj := pkg.Fset.Position(out[i].Pos), pkg.Fset.Position(out[j].Pos)
 		if pi.Filename != pj.Filename {
@@ -150,6 +151,22 @@ func simPackagePath(path string) bool {
 		}
 	}
 	return false
+}
+
+// cmdPackagePath reports whether path is a command package (a cmd/
+// directory anywhere in the path). The CLIs are outside the measured
+// path but still feed bytes into published results, so the determinism
+// analyzers cover them too; their legitimate wall-clock and randomness
+// uses (progress display, listen addresses) carry audited suppressions.
+func cmdPackagePath(path string) bool {
+	return path == "cmd" || strings.HasPrefix(path, "cmd/") ||
+		strings.Contains(path, "/cmd/") || strings.HasSuffix(path, "/cmd")
+}
+
+// determinismScope is the scope of the determinism analyzers (maporder,
+// globalrand): the simulator proper plus the command packages.
+func determinismScope(path string) bool {
+	return simPackagePath(path) || cmdPackagePath(path)
 }
 
 // isTestFile reports whether the file at pos is a _test.go file; the

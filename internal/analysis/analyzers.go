@@ -2,7 +2,10 @@ package analysis
 
 // All is the simlint suite in reporting order: the analyzers cmd/simlint
 // runs by default, standalone and under `go vet -vettool`.
-var All = []*Analyzer{MapOrder, GlobalRand, CheckpointCov, MemoKey}
+var All = []*Analyzer{
+	MapOrder, GlobalRand, CheckpointCov, MemoKey,
+	LockField, AtomicMix, ObsPure, ClockTaint,
+}
 
 // ByName returns the analyzer with the given name, or nil.
 func ByName(name string) *Analyzer {

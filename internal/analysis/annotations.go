@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"strings"
@@ -36,6 +37,12 @@ type okAnn struct {
 	analyzer string
 	line     int
 	file     string
+	pos      token.Pos
+	// used is set when the annotation suppresses at least one diagnostic
+	// of a run; an unused annotation is stale and itself reported (see
+	// staleSuppressions), so suppressions cannot outlive the code they
+	// excuse.
+	used bool
 }
 
 type annotations struct {
@@ -69,6 +76,7 @@ func collectAnnotations(fset *token.FileSet, files []*ast.File) *annotations {
 						analyzer: fields[0],
 						line:     pos.Line,
 						file:     pos.Filename,
+						pos:      c.Pos(),
 					})
 				case strings.HasPrefix(text, replayPrefix):
 					if len(strings.Fields(strings.TrimPrefix(text, replayPrefix))) == 0 {
@@ -86,21 +94,57 @@ func collectAnnotations(fset *token.FileSet, files []*ast.File) *annotations {
 }
 
 // suppresses reports whether a well-formed //simlint:ok annotation for
-// the named analyzer covers the diagnostic position.
+// the named analyzer covers the diagnostic position, marking the
+// annotation used.
 func (a *annotations) suppresses(fset *token.FileSet, pos token.Pos, analyzer string) bool {
 	if !pos.IsValid() {
 		return false
 	}
 	p := fset.Position(pos)
-	for _, ann := range a.ok {
+	hit := false
+	for i := range a.ok {
+		ann := &a.ok[i]
 		if ann.file != p.Filename || ann.analyzer != analyzer {
 			continue
 		}
 		if ann.line == p.Line || ann.line == p.Line-1 {
-			return true
+			ann.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
+}
+
+// staleSuppressions reports the //simlint:ok annotations that excused
+// nothing: ones naming an analyzer the suite does not have (typo, or an
+// analyzer since removed), and — for analyzers that actually ran —
+// annotations that suppressed no diagnostic. Both are drift: a stale
+// suppression is a standing claim that unsafe code exists where none
+// does, and it silently re-arms if the unsafe code comes back in a
+// different spot. The nolintlint discipline, applied to simlint:ok.
+func (a *annotations) staleSuppressions(ran []*Analyzer) []Diagnostic {
+	inRun := map[string]bool{}
+	for _, an := range ran {
+		inRun[an.Name] = true
+	}
+	var out []Diagnostic
+	for _, ann := range a.ok {
+		switch {
+		case ByName(ann.analyzer) == nil:
+			out = append(out, Diagnostic{
+				Pos:      ann.pos,
+				Message:  fmt.Sprintf("simlint:ok names unknown analyzer %q; it suppresses nothing", ann.analyzer),
+				Analyzer: "annotation",
+			})
+		case inRun[ann.analyzer] && !ann.used:
+			out = append(out, Diagnostic{
+				Pos:      ann.pos,
+				Message:  fmt.Sprintf("stale suppression: no %s diagnostic is reported here anymore; delete the //simlint:ok", ann.analyzer),
+				Analyzer: "annotation",
+			})
+		}
+	}
+	return out
 }
 
 // replayAnnotated reports whether the comment group carries a

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/types"
+)
+
+// AtomicMix enforces all-or-nothing atomicity per field: a struct field
+// accessed through sync/atomic anywhere (atomic.AddInt64(&s.n, 1), ...)
+// must be accessed that way everywhere. A plain read racing an atomic
+// write is just as much a data race as two plain accesses — the atomic
+// call only protects its own side — and the mixed pattern routinely
+// survives review because each site looks locally correct.
+//
+// The access facts come from the same interprocedural walk lockfield
+// uses, so the constructor exemption applies: a plain initialization of
+// an atomic field through a freshly-allocated local (the object is not
+// published yet) is fine. A plain access under a mutex is still flagged
+// — mutex-vs-atomic on the same field does not synchronize either side.
+//
+// The modern typed wrappers (atomic.Int64, atomic.Uint64 fields) are
+// immune by construction — the type system already forces every access
+// through Load/Store/Add — and are what new code should use; this
+// analyzer exists for the &field call-style API where the discipline is
+// only conventional.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flags plain accesses to struct fields that are accessed via sync/atomic elsewhere (mixed-discipline data race)",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) error {
+	if !simPackagePath(pass.Pkg.Path()) {
+		return nil
+	}
+	cg := buildCallGraph(pass)
+	facts := collectAccessFacts(pass, cg)
+
+	byField := map[*types.Var][]*fieldAccess{}
+	var order []*types.Var
+	for _, acc := range facts.accesses {
+		if byField[acc.field] == nil {
+			order = append(order, acc.field)
+		}
+		byField[acc.field] = append(byField[acc.field], acc)
+	}
+
+	for _, fv := range order {
+		accs := byField[fv]
+		var firstAtomic *fieldAccess
+		for _, acc := range accs {
+			if acc.atomic {
+				firstAtomic = acc
+				break
+			}
+		}
+		if firstAtomic == nil {
+			continue
+		}
+		for _, acc := range accs {
+			if acc.atomic || acc.fresh {
+				continue
+			}
+			verb := "read"
+			if acc.write {
+				verb = "written"
+			}
+			pass.Reportf(acc.pos,
+				"%s is accessed via sync/atomic (%s) but %s plainly here; a plain access races the atomic ones — use atomic ops everywhere or annotate //simlint:ok atomicmix <reason>",
+				fv.Name(), pass.Fset.Position(firstAtomic.pos), verb)
+		}
+	}
+	return nil
+}

@@ -31,15 +31,23 @@ var CheckpointCov = &Analyzer{
 }
 
 func runCheckpointCov(pass *Pass) error {
-	// Group the package's methods by receiver type.
+	// Group the package's methods by receiver type, and index the
+	// package-level free functions: shared serialization helpers
+	// (writeSparse-style) are free functions the transitive search must
+	// follow too.
 	methods := map[*types.TypeName]map[string]*ast.FuncDecl{}
+	freeFuncs := map[string]*ast.FuncDecl{}
 	for _, f := range pass.Files {
 		if isTestFile(pass.Fset, f.Pos()) {
 			continue
 		}
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+			if !ok {
+				continue
+			}
+			if fd.Recv == nil || len(fd.Recv.List) == 0 {
+				freeFuncs[fd.Name.Name] = fd
 				continue
 			}
 			named := receiverType(pass.TypesInfo, fd.Recv.List[0])
@@ -62,7 +70,7 @@ func runCheckpointCov(pass *Pass) error {
 		if !ok {
 			continue
 		}
-		covered := fieldsTouched(pass, tn, ms)
+		covered := fieldsTouched(pass, tn, ms, freeFuncs)
 		fieldDecl := structFieldDecls(pass, tn, st)
 		for i := 0; i < st.NumFields(); i++ {
 			fv := st.Field(i)
@@ -85,15 +93,33 @@ func runCheckpointCov(pass *Pass) error {
 	return nil
 }
 
+// covWork is one unit of the transitive coverage search: a function
+// body plus the object that stands for the receiver inside it (the
+// method receiver, or the parameter a free function was handed the
+// receiver through).
+type covWork struct {
+	fd   *ast.FuncDecl
+	recv types.Object
+}
+
 // fieldsTouched returns the struct fields of tn selected anywhere in
-// SaveState, LoadState, or any method of tn reachable from them through
-// static method calls on the same type. Passing the whole receiver to a
-// call (`w.Struct(c)` — the checkpoint Writer's reflective whole-struct
-// encoder) covers every field at once.
-func fieldsTouched(pass *Pass, tn *types.TypeName, ms map[string]*ast.FuncDecl) map[*types.Var]bool {
+// SaveState, LoadState, or any function reachable from them through
+// static calls: methods of the same type, and same-package free
+// functions the receiver is passed to (the shared writeSparse-style
+// helper — following only methods used to blanket-cover those calls,
+// marking fields the helper never serializes as covered). Passing the
+// whole receiver to an unresolvable call (`w.Struct(c)` — the
+// checkpoint Writer's reflective whole-struct encoder, binary.Write)
+// still covers every field at once.
+func fieldsTouched(pass *Pass, tn *types.TypeName, ms, freeFuncs map[string]*ast.FuncDecl) map[*types.Var]bool {
 	covered := map[*types.Var]bool{}
-	seen := map[*ast.FuncDecl]bool{}
-	work := []*ast.FuncDecl{ms["SaveState"], ms["LoadState"]}
+	seen := map[*ast.FuncDecl]map[types.Object]bool{}
+	var work []covWork
+	for _, name := range []string{"SaveState", "LoadState"} {
+		if fd := ms[name]; fd != nil {
+			work = append(work, covWork{fd, receiverObj(pass, fd)})
+		}
+	}
 	coverAll := func() {
 		st := tn.Type().Underlying().(*types.Struct)
 		for i := 0; i < st.NumFields(); i++ {
@@ -101,14 +127,20 @@ func fieldsTouched(pass *Pass, tn *types.TypeName, ms map[string]*ast.FuncDecl) 
 		}
 	}
 	for len(work) > 0 {
-		fd := work[len(work)-1]
+		it := work[len(work)-1]
 		work = work[:len(work)-1]
-		if fd == nil || seen[fd] || fd.Body == nil {
+		if it.fd == nil || it.fd.Body == nil {
 			continue
 		}
-		seen[fd] = true
-		recv := receiverObj(pass, fd)
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if seen[it.fd] == nil {
+			seen[it.fd] = map[types.Object]bool{}
+		}
+		if seen[it.fd][it.recv] {
+			continue
+		}
+		seen[it.fd][it.recv] = true
+		recv := it.recv
+		ast.Inspect(it.fd.Body, func(n ast.Node) bool {
 			switch e := n.(type) {
 			case *ast.SelectorExpr:
 				if s := pass.TypesInfo.Selections[e]; s != nil {
@@ -118,24 +150,48 @@ func fieldsTouched(pass *Pass, tn *types.TypeName, ms map[string]*ast.FuncDecl) 
 					// Calls to methods of the same type extend the search.
 					if fn, ok := s.Obj().(*types.Func); ok {
 						if next := ms[fn.Name()]; next != nil && sameReceiver(pass, next, tn) {
-							work = append(work, next)
+							work = append(work, covWork{next, receiverObj(pass, next)})
 						}
 					}
 				}
 			case *ast.CallExpr:
-				// The receiver handed to a call wholesale (w.Struct(c),
-				// binary.Write(buf, order, c), &c, *c) serializes every
-				// field reflectively.
-				for _, arg := range e.Args {
-					if exprIsObj(pass, arg, recv) {
-						coverAll()
+				// A same-package free function handed the receiver is
+				// followed precisely: the receiver's role transfers to the
+				// corresponding parameter. Everything else that takes the
+				// receiver wholesale (w.Struct(c), binary.Write(buf, order,
+				// c), &c, *c) serializes reflectively and covers all fields.
+				next := freeCallee(pass, freeFuncs, e)
+				for i, arg := range e.Args {
+					if !exprIsObj(pass, arg, recv) {
+						continue
 					}
+					if next != nil {
+						if p := declParam(pass, next, i); p != nil {
+							work = append(work, covWork{next, p})
+							continue
+						}
+					}
+					coverAll()
 				}
 			}
 			return true
 		})
 	}
 	return covered
+}
+
+// freeCallee resolves a call to a same-package free-function
+// declaration, nil for methods, builtins, externals, and dynamic calls.
+func freeCallee(pass *Pass, freeFuncs map[string]*ast.FuncDecl, call *ast.CallExpr) *ast.FuncDecl {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() != pass.Pkg {
+		return nil
+	}
+	return freeFuncs[fn.Name()]
 }
 
 // receiverObj returns the object of fd's receiver variable, nil for an

@@ -1,0 +1,381 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file implements the forward taint/reachability engine: given a
+// source predicate over call expressions (e.g. "this call reads the
+// wall clock"), it computes which objects — locals, parameters, struct
+// fields — can hold a source-derived value anywhere in the package, and
+// answers per-expression taint queries afterwards.
+//
+// The lattice is the simplest one that catches laundering: an object is
+// either untainted (bottom) or tainted-with-witness (top, carrying the
+// position of the first source that reached it, for diagnostics).
+// Propagation is flow-insensitive (one taint set for the whole package)
+// but field-sensitive (a struct field is its own object, shared across
+// instances) and interprocedural over the package-closure call graph:
+// tainted arguments taint callee parameters, tainted returns taint call
+// results, and calls that leave the package propagate taint from any
+// operand to their result — the conservative choice that makes
+// `time.Now().UnixNano()` tainted without modeling the time package.
+// Instance-insensitivity and flow-insensitivity both over-approximate;
+// the audited //simlint:ok escape hatch absorbs the (rare) false
+// positive, which is the right trade for a determinism contract.
+
+// A taintSource is the witness carried by a tainted object: where the
+// value originally came from.
+type taintSource struct {
+	pos  token.Pos
+	desc string
+}
+
+// taintEngine computes and answers taint queries for one package.
+type taintEngine struct {
+	pass *Pass
+	cg   *callGraph
+	// isSource classifies call expressions; a non-nil result marks the
+	// call's value as a taint source.
+	isSource func(*ast.CallExpr) *taintSource
+	// obj holds the taint state of every object known tainted.
+	obj map[types.Object]*taintSource
+	// ret holds per-result-index taint for each function: collapsing a
+	// signature to one bit would let a tainted runResult poison the error
+	// returned beside it, flagging every `if err != nil` downstream.
+	ret     map[*funcNode][]*taintSource
+	changed bool
+}
+
+// newTaintEngine builds and solves the taint state for the pass's
+// non-test files.
+func newTaintEngine(pass *Pass, cg *callGraph, isSource func(*ast.CallExpr) *taintSource) *taintEngine {
+	t := &taintEngine{
+		pass:     pass,
+		cg:       cg,
+		isSource: isSource,
+		obj:      map[types.Object]*taintSource{},
+		ret:      map[*funcNode][]*taintSource{},
+	}
+	t.solve()
+	return t
+}
+
+// solve iterates transfer over every function body to a fixpoint. The
+// taint sets only grow, so termination is bounded by the object count.
+func (t *taintEngine) solve() {
+	for {
+		t.changed = false
+		for _, node := range t.cg.order {
+			if node.decl.Body != nil {
+				t.transferBody(node)
+			}
+		}
+		if !t.changed {
+			return
+		}
+	}
+}
+
+// transferBody applies one propagation pass over a function body.
+func (t *taintEngine) transferBody(node *funcNode) {
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			t.transferAssign(s)
+		case *ast.ValueSpec:
+			for i, val := range s.Values {
+				if src := t.ExprTaint(val); src != nil {
+					if len(s.Values) == len(s.Names) {
+						t.taintObj(t.pass.TypesInfo.ObjectOf(s.Names[i]), src)
+					} else {
+						for _, name := range s.Names {
+							t.taintObj(t.pass.TypesInfo.ObjectOf(name), src)
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if src := t.ExprTaint(s.X); src != nil {
+				t.taintLValue(s.Key, src)
+				t.taintLValue(s.Value, src)
+			}
+		case *ast.CallExpr:
+			t.transferCall(s)
+		case *ast.ReturnStmt:
+			// Attribute returns to the declaration, not to an enclosing
+			// function literal: a closure's return value is not the
+			// host's. (Closure results flow through the variable the
+			// literal is assigned to only when called at an in-package
+			// site we can resolve, which resolve() cannot; the
+			// conservative external-call rule covers those calls.)
+			if enclosesReturn(node.decl.Body, s) {
+				t.transferReturn(node, s)
+			}
+		}
+		return true
+	})
+}
+
+// transferReturn propagates tainted results into the function's
+// per-index return state.
+func (t *taintEngine) transferReturn(node *funcNode, s *ast.ReturnStmt) {
+	sig, ok := node.obj.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	n := sig.Results().Len()
+	switch {
+	case len(s.Results) == n:
+		for i, res := range s.Results {
+			if src := t.ExprTaint(res); src != nil {
+				t.taintReturn(node, i, n, src)
+			}
+		}
+	case len(s.Results) == 1 && n > 1:
+		// return f() pass-through of a multi-result call.
+		if call, ok := ast.Unparen(s.Results[0]).(*ast.CallExpr); ok {
+			if callee := t.cg.resolve(t.pass, call); callee != nil {
+				for i, src := range t.ret[callee] {
+					if src != nil {
+						t.taintReturn(node, i, n, src)
+					}
+				}
+				return
+			}
+		}
+		if src := t.ExprTaint(s.Results[0]); src != nil {
+			for i := 0; i < n; i++ {
+				t.taintReturn(node, i, n, src)
+			}
+		}
+	case len(s.Results) == 0 && n > 0:
+		// Naked return: the named result objects carry the taint.
+		for i := 0; i < n; i++ {
+			if src := t.obj[sig.Results().At(i)]; src != nil {
+				t.taintReturn(node, i, n, src)
+			}
+		}
+	}
+}
+
+// transferAssign propagates right-hand taint into assignment targets.
+func (t *taintEngine) transferAssign(s *ast.AssignStmt) {
+	switch {
+	case len(s.Lhs) == len(s.Rhs):
+		for i := range s.Lhs {
+			if src := t.ExprTaint(s.Rhs[i]); src != nil {
+				t.taintLValue(s.Lhs[i], src)
+			}
+		}
+	case len(s.Rhs) == 1:
+		// x, y := f() — taint flows per result index for an in-package
+		// call; an unresolvable multi-value source taints every target.
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			if callee := t.cg.resolve(t.pass, call); callee != nil {
+				for i, src := range t.ret[callee] {
+					if src != nil && i < len(s.Lhs) {
+						t.taintLValue(s.Lhs[i], src)
+					}
+				}
+				return
+			}
+		}
+		if src := t.ExprTaint(s.Rhs[0]); src != nil {
+			for _, lhs := range s.Lhs {
+				t.taintLValue(lhs, src)
+			}
+		}
+	}
+}
+
+// transferCall propagates tainted arguments into in-package callee
+// parameters.
+func (t *taintEngine) transferCall(call *ast.CallExpr) {
+	callee := t.cg.resolve(t.pass, call)
+	if callee == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		if src := t.ExprTaint(arg); src != nil {
+			if p := calleeParam(t.pass, &callSite{callee: callee}, i); p != nil {
+				t.taintObj(p, src)
+			}
+		}
+	}
+}
+
+// taintLValue marks the object behind an assignment target: a variable
+// for identifiers, the field object for selector stores (shared across
+// instances), the container object for index stores.
+func (t *taintEngine) taintLValue(e ast.Expr, src *taintSource) {
+	switch lv := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		t.taintObj(t.pass.TypesInfo.ObjectOf(lv), src)
+	case *ast.SelectorExpr:
+		t.taintObj(t.pass.TypesInfo.ObjectOf(lv.Sel), src)
+	case *ast.IndexExpr:
+		t.taintLValue(lv.X, src)
+	case *ast.StarExpr:
+		t.taintLValue(lv.X, src)
+	}
+}
+
+func (t *taintEngine) taintObj(obj types.Object, src *taintSource) {
+	if obj == nil || obj.Name() == "_" || isErrorType(obj.Type()) {
+		return
+	}
+	if _, ok := t.obj[obj]; ok {
+		return
+	}
+	t.obj[obj] = src
+	t.changed = true
+}
+
+func (t *taintEngine) taintReturn(node *funcNode, i, n int, src *taintSource) {
+	if t.ret[node] == nil {
+		t.ret[node] = make([]*taintSource, n)
+	}
+	if i >= len(t.ret[node]) || t.ret[node][i] != nil {
+		return
+	}
+	sig, _ := node.obj.Type().(*types.Signature)
+	if sig != nil && i < sig.Results().Len() && isErrorType(sig.Results().At(i).Type()) {
+		return
+	}
+	t.ret[node][i] = src
+	t.changed = true
+}
+
+// isErrorType reports whether t is the error interface. Errors are
+// status, not payload: `return nil, rr, cell.err` beside a tainted
+// runResult must not make every downstream `if err != nil` look
+// clock-dependent.
+func isErrorType(typ types.Type) bool {
+	named, ok := typ.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() == nil && obj.Name() == "error"
+}
+
+// ExprTaint reports whether e can evaluate to a source-derived value,
+// returning the witness (nil = untainted).
+func (t *taintEngine) ExprTaint(e ast.Expr) *taintSource {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return t.obj[t.pass.TypesInfo.ObjectOf(v)]
+	case *ast.SelectorExpr:
+		return t.obj[t.pass.TypesInfo.ObjectOf(v.Sel)]
+	case *ast.CallExpr:
+		return t.callTaint(v)
+	case *ast.BinaryExpr:
+		if src := t.ExprTaint(v.X); src != nil {
+			return src
+		}
+		return t.ExprTaint(v.Y)
+	case *ast.UnaryExpr:
+		return t.ExprTaint(v.X)
+	case *ast.StarExpr:
+		return t.ExprTaint(v.X)
+	case *ast.IndexExpr:
+		if src := t.ExprTaint(v.X); src != nil {
+			return src
+		}
+		return t.ExprTaint(v.Index)
+	case *ast.SliceExpr:
+		return t.ExprTaint(v.X)
+	case *ast.TypeAssertExpr:
+		return t.ExprTaint(v.X)
+	case *ast.CompositeLit:
+		for _, elt := range v.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if src := t.ExprTaint(elt); src != nil {
+				return src
+			}
+		}
+	}
+	return nil
+}
+
+// callTaint classifies a call expression: a source, a resolved
+// in-package call with a tainted return, a conversion of a tainted
+// operand, or an external call with a tainted operand (conservative
+// pass-through).
+func (t *taintEngine) callTaint(call *ast.CallExpr) *taintSource {
+	if src := t.isSource(call); src != nil {
+		return src
+	}
+	if typ := t.pass.TypesInfo.TypeOf(call); typ != nil && isErrorType(typ) {
+		return nil
+	}
+	if callee := t.cg.resolve(t.pass, call); callee != nil {
+		for _, src := range t.ret[callee] {
+			if src != nil {
+				return src
+			}
+		}
+		return nil
+	}
+	// External or dynamic call (also covers conversions like
+	// int64(tainted)): tainted operands taint the result. The receiver
+	// of a method call is an operand too — time.Now().UnixNano() stays
+	// tainted through the method chain.
+	for _, arg := range call.Args {
+		if src := t.ExprTaint(arg); src != nil {
+			return src
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		// Only treat the selector base as an operand for method calls;
+		// pkg.Func(...) has a package name there, never a value.
+		if _, isPkg := t.pass.TypesInfo.ObjectOf(baseIdent(sel.X)).(*types.PkgName); !isPkg {
+			return t.ExprTaint(sel.X)
+		}
+	}
+	return nil
+}
+
+// baseIdent unwraps an expression to its root identifier (nil when the
+// root is not a plain identifier).
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// enclosesReturn reports whether ret belongs to body's function itself
+// rather than to a nested function literal.
+func enclosesReturn(body *ast.BlockStmt, ret *ast.ReturnStmt) bool {
+	owned := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			// Returns inside the literal belong to the literal.
+			if v.Body != nil && v.Body.Pos() <= ret.Pos() && ret.End() <= v.Body.End() {
+				owned = false
+			}
+			return false
+		}
+		return true
+	})
+	return owned
+}

@@ -43,7 +43,7 @@ var globalRandAllowed = map[string]bool{
 }
 
 func runGlobalRand(pass *Pass) error {
-	if !simPackagePath(pass.Pkg.Path()) {
+	if !determinismScope(pass.Pkg.Path()) {
 		return nil
 	}
 	for _, f := range pass.Files {

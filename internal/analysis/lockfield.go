@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/types"
+)
+
+// LockField infers each struct's mutex→fields guarding discipline from
+// the code's own majority behavior, then flags the minority accesses
+// that break it — the DebugSharing/RunnerStats race class, where a
+// field consistently guarded by a mutex picks up one new access site
+// that forgets the lock.
+//
+// Inference, per struct declared in a simulator package: a field F is
+// considered guarded by mutex field M of the same struct when at least
+// two accesses of F hold M and strictly more accesses hold M than not.
+// Every access of F made without M is then a diagnostic. Accesses
+// counted come from the interprocedural lockset walk in accessfacts.go,
+// so helpers called with the lock held (the paired-transition shape:
+// statsMu.Lock(); noteRun(); statsMu.Unlock()) count as guarded, an
+// early-return unlock does not poison the fall-through path, and a
+// deferred Unlock holds to function end. Two exemptions keep honest
+// code quiet: accesses through a freshly-allocated local (constructors
+// initializing an unpublished object) and function literals' bodies
+// are analyzed with an empty lockset, so a goroutine body never
+// inherits its spawner's locks.
+//
+// The historical instance: RunnerStats transitions were paired under
+// statsMu everywhere except one late-added cache-hit path, and the
+// Requests == Runs + CacheHits invariant only failed under -race with
+// the right interleaving. This analyzer rejects the unpaired site at
+// vet time.
+var LockField = &Analyzer{
+	Name: "lockfield",
+	Doc:  "flags struct field accesses that skip the mutex guarding every other access of the field",
+	Run:  runLockField,
+}
+
+func runLockField(pass *Pass) error {
+	if !simPackagePath(pass.Pkg.Path()) {
+		return nil
+	}
+	cg := buildCallGraph(pass)
+	facts := collectAccessFacts(pass, cg)
+
+	// Bucket accesses per field, in the deterministic order the walker
+	// recorded them.
+	byField := map[*types.Var][]*fieldAccess{}
+	for _, acc := range facts.accesses {
+		byField[acc.field] = append(byField[acc.field], acc)
+	}
+
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		// The struct's own mutex fields are the guard candidates.
+		var mutexes []*types.Var
+		for i := 0; i < st.NumFields(); i++ {
+			if fv := st.Field(i); facts.mutexFields[fv] == tn {
+				mutexes = append(mutexes, fv)
+			}
+		}
+		if len(mutexes) == 0 {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			fv := st.Field(i)
+			if facts.mutexFields[fv] == tn {
+				continue
+			}
+			accs := byField[fv]
+			guard, lockedN := inferGuard(accs, mutexes)
+			if guard == nil {
+				continue
+			}
+			for _, acc := range accs {
+				if acc.fresh || acc.locks[guard] {
+					continue
+				}
+				verb := "read"
+				if acc.write {
+					verb = "written"
+				}
+				pass.Reportf(acc.pos,
+					"%s.%s is %s without %s.%s, which guards it at %d of %d accesses; hold the mutex or annotate //simlint:ok lockfield <reason>",
+					tn.Name(), fv.Name(), verb, tn.Name(), guard.Name(), lockedN, len(accs))
+			}
+		}
+	}
+	return nil
+}
+
+// inferGuard picks the mutex that guards a field's accesses: the
+// candidate held at the most (fresh-exempt) accesses, provided it is
+// held at two or more and at strictly more accesses than it is missing
+// from. Returns nil when no candidate qualifies — a field never (or
+// only sporadically) accessed under a lock has no inferred discipline.
+func inferGuard(accs []*fieldAccess, mutexes []*types.Var) (*types.Var, int) {
+	var best *types.Var
+	bestN := 0
+	for _, mu := range mutexes {
+		n := 0
+		total := 0
+		for _, acc := range accs {
+			if acc.fresh {
+				continue
+			}
+			total++
+			if acc.locks[mu] {
+				n++
+			}
+		}
+		if n >= 2 && n > total-n && n > bestN {
+			best, bestN = mu, n
+		}
+	}
+	if best == nil {
+		return nil, 0
+	}
+	return best, bestN
+}

@@ -33,7 +33,7 @@ var MapOrder = &Analyzer{
 }
 
 func runMapOrder(pass *Pass) error {
-	if !simPackagePath(pass.Pkg.Path()) {
+	if !determinismScope(pass.Pkg.Path()) {
 		return nil
 	}
 	for _, f := range pass.Files {

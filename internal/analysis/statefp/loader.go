@@ -1,0 +1,170 @@
+package statefp
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// loader type-checks the module rooted at root from source. Imports
+// inside the module resolve to their source directories; everything
+// else (stdlib) goes through the compiler's source importer. This keeps
+// statefp independent of build caches and usable against any directory
+// that has a go.mod — including the throwaway modules the unit tests
+// construct.
+type loader struct {
+	fset   *token.FileSet
+	root   string
+	module string
+	std    types.Importer
+	pkgs   map[string]*pkgInfo
+}
+
+// pkgInfo is one loaded package: its types plus the comment-bearing
+// syntax needed to read //simlint annotations off struct fields.
+type pkgInfo struct {
+	path  string
+	pkg   *types.Package
+	files []*ast.File
+}
+
+func newLoader(root string) (*loader, error) {
+	module, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &loader{
+		fset:   fset,
+		root:   root,
+		module: module,
+		std:    importer.ForCompiler(fset, "source", nil),
+		pkgs:   map[string]*pkgInfo{},
+	}, nil
+}
+
+// modulePath reads the module line out of root's go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("statefp: %w (root must be a module directory)", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("statefp: no module line in %s/go.mod", root)
+}
+
+// inModule reports whether path names a package of the loaded module.
+func (l *loader) inModule(path string) bool {
+	return path == l.module || strings.HasPrefix(path, l.module+"/")
+}
+
+// Import implements types.Importer over the module's source tree.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if !l.inModule(path) {
+		return l.std.Import(path)
+	}
+	info, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return info.pkg, nil
+}
+
+// load parses and type-checks one module package (cached).
+func (l *loader) load(path string) (*pkgInfo, error) {
+	if info, ok := l.pkgs[path]; ok {
+		return info, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.module)))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("statefp: import %q: %w", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("statefp: import %q: no Go files in %s", path, dir)
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("statefp: type-checking %q: %w", path, err)
+	}
+	info := &pkgInfo{path: path, pkg: pkg, files: files}
+	l.pkgs[path] = info
+	return info, nil
+}
+
+// loadAll walks the module tree and loads every package in it,
+// returning them sorted by import path. testdata, vendor, hidden, and
+// underscore-prefixed directories are skipped, as are directories
+// holding only test files.
+func (l *loader) loadAll() ([]*pkgInfo, error) {
+	var paths []string
+	err := filepath.WalkDir(l.root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != l.root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(l.root, filepath.Dir(p))
+		if err != nil {
+			return err
+		}
+		path := l.module
+		if rel != "." {
+			path = l.module + "/" + filepath.ToSlash(rel)
+		}
+		paths = append(paths, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var out []*pkgInfo
+	seen := map[string]bool{}
+	for _, p := range paths {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		info, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, info)
+	}
+	return out, nil
+}

@@ -33,3 +33,34 @@ func TestCheckpointCov(t *testing.T) {
 func TestMemoKey(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.MemoKey, "memo")
 }
+
+func TestLockField(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.LockField,
+		"internal/core/lockrepro", // seeded RunnerStats unpaired-transition race
+	)
+}
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.AtomicMix,
+		"internal/sim/atomix",
+	)
+}
+
+func TestObsPure(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.ObsPure,
+		"internal/obs/badobs",  // synthetic obs→engine write
+		"internal/sim/obsuser", // armed-side API reached from engine code
+	)
+}
+
+func TestClockTaint(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.ClockTaint,
+		"internal/sim/clockrepro", // laundered time.Now into seed/key/branch/checkpoint
+	)
+}
+
+func TestStaleSuppressions(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.MapOrder,
+		"internal/sim/staleok", // dead and typo'd //simlint:ok annotations
+	)
+}

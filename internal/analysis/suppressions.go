@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Suppression is one standing annotation in the tree: a //simlint:ok
+// exemption or a //simlint:replay field marker. The list is the audit
+// surface behind `simlint -suppressions`, which regenerates the
+// DESIGN.md §8/§9 suppression tables — every exemption is a reviewed
+// decision with a stated reason, enumerable on demand.
+type Suppression struct {
+	// File is the path relative to the walk root, Line the 1-based
+	// annotation line.
+	File string
+	Line int
+	// Kind is "ok" or "replay".
+	Kind string
+	// Analyzer is the suppressed analyzer for Kind "ok"; "-" for replay
+	// markers (consumed by checkpointcov).
+	Analyzer string
+	// Reason is the annotation's mandatory justification text.
+	Reason string
+}
+
+// ListSuppressions syntactically walks every non-test Go file under
+// root (skipping testdata, vendor, and hidden directories) and returns
+// its simlint annotations sorted by file and line. It parses comments
+// only — no type checking — so it runs anywhere, including on trees
+// that do not currently compile.
+func ListSuppressions(root string) ([]Suppression, error) {
+	var out []Suppression
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			rel = p
+		}
+		rel = filepath.ToSlash(rel)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				line := fset.Position(c.Pos()).Line
+				switch {
+				case strings.HasPrefix(text, okPrefix):
+					fields := strings.Fields(strings.TrimPrefix(text, okPrefix))
+					s := Suppression{File: rel, Line: line, Kind: "ok", Analyzer: "?", Reason: "(missing)"}
+					if len(fields) > 0 {
+						s.Analyzer = fields[0]
+					}
+					if len(fields) > 1 {
+						s.Reason = strings.Join(fields[1:], " ")
+					}
+					out = append(out, s)
+				case strings.HasPrefix(text, replayPrefix):
+					reason := strings.TrimSpace(strings.TrimPrefix(text, replayPrefix))
+					if reason == "" {
+						reason = "(missing)"
+					}
+					out = append(out, Suppression{File: rel, Line: line, Kind: "replay", Analyzer: "-", Reason: reason})
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out, nil
+}
+
+// FormatSuppressions renders the audit list as the markdown table
+// embedded in DESIGN.md.
+func FormatSuppressions(sups []Suppression) string {
+	var b strings.Builder
+	b.WriteString("| Location | Kind | Analyzer | Reason |\n")
+	b.WriteString("|---|---|---|---|\n")
+	for _, s := range sups {
+		loc := s.File + ":" + strconv.Itoa(s.Line)
+		b.WriteString("| `" + loc + "` | " + s.Kind + " | `" + s.Analyzer + "` | " + s.Reason + " |\n")
+	}
+	return b.String()
+}

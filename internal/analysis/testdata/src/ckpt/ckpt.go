@@ -73,3 +73,35 @@ type Plain int
 
 func (p Plain) SaveState(w *Writer) {}
 func (p Plain) LoadState(r *Reader) {}
+
+// Sparse serializes through shared same-package free functions (the
+// writeSparse pattern). The analyzer must follow the receiver into the
+// helpers and see which fields they actually touch — treating the call
+// as whole-receiver reflective coverage would silently hide the
+// forgotten gen field.
+type Sparse struct {
+	keys []uint64
+	vals []uint64
+	gen  int // want `field Sparse.gen is not covered by SaveState/LoadState`
+}
+
+func (s *Sparse) SaveState(w *Writer) { writeSparse(w, s) }
+func (s *Sparse) LoadState(r *Reader) { readSparse(r, s) }
+
+func writeSparse(w *Writer, s *Sparse) {
+	w.U64(uint64(len(s.keys)))
+	for i := range s.keys {
+		w.U64(s.keys[i])
+		w.U64(s.vals[i])
+	}
+}
+
+func readSparse(r *Reader, s *Sparse) {
+	n := r.U64()
+	s.keys = make([]uint64, n)
+	s.vals = make([]uint64, n)
+	for i := range s.keys {
+		s.keys[i] = r.U64()
+		s.vals[i] = r.U64()
+	}
+}

@@ -1,0 +1,98 @@
+// Package lockrepro seeds the historical RunnerStats unpaired-transition
+// race for the lockfield analyzer: stats transitions are paired under
+// statsMu everywhere except one late-added path, which only -race with
+// the right interleaving used to catch.
+package lockrepro
+
+import "sync"
+
+// Stats mirrors RunnerStats: counters bound by the
+// Requests == Runs + CacheHits invariant, so every transition must be
+// atomic under one mutex.
+type Stats struct {
+	Requests  int64
+	Runs      int64
+	CacheHits int64
+}
+
+type Runner struct {
+	statsMu sync.Mutex
+	stats   Stats
+
+	mu    sync.Mutex
+	cache map[string]int
+
+	limit int
+}
+
+func New() *Runner {
+	r := &Runner{cache: map[string]int{}}
+	// Fresh local: the object is unpublished, so no lock is needed.
+	r.stats.Requests = 0
+	r.limit = 4
+	return r
+}
+
+// noteRun is only ever called with statsMu held; the interprocedural
+// entry-lockset inference must see these accesses as guarded.
+func (r *Runner) noteRun() {
+	r.stats.Requests++
+	r.stats.Runs++
+}
+
+func (r *Runner) Measure(key string) int {
+	r.statsMu.Lock()
+	r.noteRun()
+	r.statsMu.Unlock()
+
+	r.mu.Lock()
+	v, ok := r.cache[key]
+	if ok {
+		// Early-return path: mu released, statsMu reacquired. The
+		// fall-through below must still count as mu-guarded.
+		r.mu.Unlock()
+		r.statsMu.Lock()
+		r.stats.CacheHits++
+		r.statsMu.Unlock()
+		return v
+	}
+	r.cache[key] = r.limit
+	r.mu.Unlock()
+	return r.limit
+}
+
+func (r *Runner) Hits() int64 {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	return r.stats.CacheHits
+}
+
+func (r *Runner) Done() {
+	r.statsMu.Lock()
+	r.stats.Runs++
+	r.statsMu.Unlock()
+}
+
+func (r *Runner) Snapshot() Stats {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	return r.stats
+}
+
+// RecordHit is the seeded bug: the CacheHits transition added without
+// its pairing, breaking Requests == Runs + CacheHits under concurrency.
+// Every r.stats.* access must go through the stats field, so the
+// unpaired transition is caught as an unguarded stats access.
+func (r *Runner) RecordHit() {
+	r.stats.CacheHits++ // want `Runner\.stats is read without Runner\.statsMu`
+}
+
+// Async spawns a goroutine: the closure body runs concurrently, so it
+// must not inherit the spawner's lockset.
+func (r *Runner) Async() {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	go func() {
+		r.stats.Runs++ // want `Runner\.stats is read without Runner\.statsMu`
+	}()
+}

@@ -1,0 +1,34 @@
+package lockrepro
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSeededRaceUnderHammer drives the seeded unpaired-transition bug
+// hard enough for the race detector: RecordHit mutates the stats block
+// without statsMu while Snapshot reads it under the lock. Under -race
+// this test MUST fail — CI inverts the exit status
+// (`! go test -race ...`), proving the access lockfield flags
+// statically is a real dynamic race, not analyzer pedantry. Without
+// -race it passes, so the fixture stays green in plain test runs.
+func TestSeededRaceUnderHammer(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.RecordHit()
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+}

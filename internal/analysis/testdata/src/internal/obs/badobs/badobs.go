@@ -1,0 +1,23 @@
+// Package badobs seeds the synthetic obs→engine write for the obspure
+// analyzer: observer code that imports simulator state, mutates it, and
+// calls back into it — the feedback channel the pure-observer contract
+// forbids.
+package badobs
+
+import "internal/sim/enginestate" // want `internal/obs is a pure observer and must not import simulator package`
+
+type Hook struct {
+	sys *enginestate.System
+}
+
+// Publish is the exported observer API; the violations below live in an
+// innocently-named helper, so the diagnostic must name Publish as the
+// reachable entry point.
+func (h *Hook) Publish() {
+	h.flush()
+}
+
+func (h *Hook) flush() {
+	h.sys.Cycles = 0        // want `observer code writes simulator state enginestate\.Cycles \(reachable from Publish\)`
+	enginestate.Tick(h.sys) // want `observer code calls simulator function enginestate\.Tick \(reachable from Publish\)`
+}

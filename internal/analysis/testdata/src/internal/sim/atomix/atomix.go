@@ -1,0 +1,40 @@
+// Package atomix seeds the mixed atomic/plain access bug class for the
+// atomicmix analyzer: a field reached through sync/atomic in one place
+// and plainly in another races, even though each site looks locally
+// correct.
+package atomix
+
+import "sync/atomic"
+
+type Counters struct {
+	hits  int64
+	total int64
+}
+
+func New() *Counters {
+	c := &Counters{}
+	// Fresh local: plain initialization before publication is fine.
+	c.hits = 0
+	return c
+}
+
+func (c *Counters) Hit()        { atomic.AddInt64(&c.hits, 1) }
+func (c *Counters) Load() int64 { return atomic.LoadInt64(&c.hits) }
+
+// Reset is the seeded bug: a plain store to an atomically-accessed
+// field, racing every concurrent Hit.
+func (c *Counters) Reset() {
+	c.hits = 0 // want `hits is accessed via sync/atomic .* but written plainly here`
+}
+
+// Sum's plain read races too — atomicity is all-or-nothing per field.
+func (c *Counters) Sum() int64 {
+	return c.hits + c.total // want `hits is accessed via sync/atomic .* but read plainly here`
+}
+
+// Total is plain-only: no atomic access anywhere, so no discipline to
+// mix with.
+func (c *Counters) Total() int64 {
+	c.total++
+	return c.total
+}

@@ -1,0 +1,11 @@
+// Package enginestate is a fixture stub of simulator state: the kind of
+// package internal/obs must never write into or call.
+package enginestate
+
+type System struct {
+	Cycles int64
+}
+
+func Tick(s *System) {
+	s.Cycles++
+}

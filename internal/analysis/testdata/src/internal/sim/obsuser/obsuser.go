@@ -1,0 +1,22 @@
+// Package obsuser exercises the simulator side of the pure-observer
+// contract: engine code may use the nil-safe obs handles freely but
+// must never construct, serve, or flush an observer — the armed-side
+// API belongs to cmd/ alone.
+package obsuser
+
+import "internal/obs"
+
+type Engine struct {
+	ob *obs.Observer
+}
+
+func (e *Engine) Run() {
+	// The nil-safe boundary: fine whether or not an observer is armed.
+	t := obs.Now()
+	_ = obs.Since(t)
+	e.ob.Counter("runs").Add(1)
+
+	e.ob = obs.New()               // want `obs\.New is armed-side API`
+	_, _ = obs.Serve("addr", e.ob) // want `obs\.Serve is armed-side API`
+	_ = e.ob.WriteFiles("out")     // want `WriteFiles is armed-side API`
+}

@@ -1,0 +1,30 @@
+// Package staleok exercises stale-suppression detection: a
+// //simlint:ok that excuses nothing is itself a diagnostic, so
+// suppressions cannot outlive the code they were written for.
+package staleok
+
+// Evict's suppression is live — the bounded eviction below is a real
+// maporder finding — so it must NOT be reported as stale.
+func Evict(m map[string]bool) {
+	for k := range m { //simlint:ok maporder single-victim eviction audited as order-insensitive (fixture)
+		delete(m, k)
+		break
+	}
+}
+
+// Clear's loop is the recognized full-clear idiom, so maporder reports
+// nothing here and the suppression is dead weight.
+func Clear(m map[string]bool) {
+	for k := range m { //simlint:ok maporder full clear // want `stale suppression: no maporder diagnostic`
+		delete(m, k)
+	}
+}
+
+// A typo'd analyzer name suppresses nothing, whatever it was meant for.
+func Keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { //simlint:ok maprder sorted downstream // want `unknown analyzer "maprder"`
+		out = append(out, k)
+	}
+	return out
+}
