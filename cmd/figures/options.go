@@ -44,7 +44,11 @@ func buildOptions(v cliFlags) (core.Options, error) {
 	o.Seed = v.Seed
 	o.InvariantChecks = v.Invariants
 	if v.Quick {
-		o.WarmupInsts, o.MeasureInsts = 150_000, 40_000
+		// Quick warming still has to cover a useful fraction of the
+		// largest workload's working set (Data Serving: 128MB), or the
+		// measured window sits on a cold-miss transient and claim
+		// margins evaporate.
+		o.WarmupInsts, o.MeasureInsts = 200_000, 40_000
 	}
 	if v.Sample || v.Intervals > 0 || v.RelErr > 0 {
 		o.Sampling = core.DefaultSampling()

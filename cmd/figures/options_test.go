@@ -23,7 +23,7 @@ func TestBuildOptionsQuickAndSampling(t *testing.T) {
 	if err != nil {
 		t.Fatalf("quick+sampling rejected: %v", err)
 	}
-	if o.WarmupInsts != 150_000 || o.MeasureInsts != 40_000 {
+	if o.WarmupInsts != 200_000 || o.MeasureInsts != 40_000 {
 		t.Errorf("quick budgets not applied: warmup=%d measure=%d", o.WarmupInsts, o.MeasureInsts)
 	}
 	if !o.Sampling.Enabled() || o.Sampling.Intervals != 16 || o.Sampling.TargetRelErr != 0.1 {

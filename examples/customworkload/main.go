@@ -10,11 +10,12 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
 	"cloudsuite"
 	"cloudsuite/internal/addrspace"
 	"cloudsuite/internal/oskern"
+	"cloudsuite/internal/rng"
+	"cloudsuite/internal/sim/checkpoint"
 	"cloudsuite/internal/trace"
 	"cloudsuite/internal/workloads"
 )
@@ -51,51 +52,113 @@ func newQueueWorkload() *queueWorkload {
 
 func (q *queueWorkload) Name() string           { return "Message Queue" }
 func (q *queueWorkload) Class() workloads.Class { return workloads.ScaleOut }
-func (q *queueWorkload) Start(n int, seed int64) []*trace.ChanGen {
-	gens := make([]*trace.ChanGen, n)
+func (q *queueWorkload) Start(n int, seed int64) []*trace.StepGen {
+	gens := make([]*trace.StepGen, n)
 	for i := 0; i < n; i++ {
-		tid := i
 		cfg := workloads.EmitterConfigFor(seed+int64(i)*997, 0.08)
-		gens[i] = trace.Start(cfg, func(e *trace.Emitter) { q.serve(e, tid, seed+int64(tid)) })
+		gens[i] = trace.NewStepGen(cfg, q.newThread(i, seed+int64(i)))
 	}
 	return gens
 }
 
-func (q *queueWorkload) serve(e *trace.Emitter, tid int, seed int64) {
-	rng := rand.New(rand.NewSource(seed))
-	conn := q.kern.OpenConnOn(tid)
-	stack := workloads.StackOf(tid)
-	buf := q.heap.AllocLines(4096)
-	reqs := uint64(0)
-	for {
-		q.kern.Recv(e, conn, buf, 256)
-		q.bank.Exec(e, reqs*2654435761+uint64(tid), 14, 2200, stack, 3)
-		shard := rng.Intn(len(q.rings))
-		ring := q.rings[shard]
-		slot := q.cursor[shard] % ring.Len
-		if rng.Intn(2) == 0 { // produce
-			e.InFunc(q.fnProd, func() {
-				for off := uint64(0); off < 256; off += 64 {
-					v := e.Load(buf+off%4096, 64, trace.NoVal, false)
-					e.Store(ring.At(slot)+off, 64, v, trace.NoVal)
-				}
-				q.cursor[shard]++
-			})
-		} else { // consume
-			e.InFunc(q.fnCons, func() {
-				var v trace.Val = trace.NoVal
-				for off := uint64(0); off < 256; off += 64 {
-					v = e.Load(ring.At(slot)+off, 64, v, false)
-					e.Store(buf+off%4096, 64, v, trace.NoVal)
-				}
-			})
-		}
-		q.kern.Send(e, conn, buf, 256)
-		reqs++
-		if reqs%256 == 0 {
-			q.kern.SchedTick(e, tid)
-		}
+// SaveShared/LoadShared make the workload live-point capable: with
+// these (plus the thread SaveState below) a warm image restores by a
+// pure load instead of replaying the warmup instruction stream.
+func (q *queueWorkload) SaveShared(w *checkpoint.Writer) {
+	w.Tag("mq.shared")
+	q.kern.SaveState(w)
+	q.heap.SaveState(w)
+	w.U32(uint32(len(q.cursor)))
+	for _, c := range q.cursor {
+		w.U64(c)
 	}
+}
+
+func (q *queueWorkload) LoadShared(rd *checkpoint.Reader) {
+	rd.Expect("mq.shared")
+	q.kern.LoadState(rd)
+	q.heap.LoadState(rd)
+	if n := rd.U32(); int(n) != len(q.cursor) {
+		rd.Failf("mq: %d shards in image, have %d", n, len(q.cursor))
+	}
+	cur := make([]uint64, len(q.cursor))
+	for i := range cur {
+		cur[i] = rd.U64()
+	}
+	if rd.Err() != nil {
+		return
+	}
+	q.cursor = cur
+}
+
+// qthread is one worker's resumable state: everything the request loop
+// carries across steps.
+type qthread struct {
+	q     *queueWorkload //simlint:ok checkpointcov back-pointer to the shared workload, wired at construction
+	tid   int            //simlint:ok checkpointcov thread identity, fixed at construction
+	rnd   *rng.Rand
+	conn  *oskern.Conn
+	stack uint64 //simlint:ok checkpointcov derived from tid
+	buf   uint64 //simlint:ok checkpointcov construction-time allocation
+	reqs  uint64
+}
+
+func (q *queueWorkload) newThread(tid int, seed int64) *qthread {
+	return &qthread{
+		q:     q,
+		tid:   tid,
+		rnd:   rng.New(seed),
+		conn:  q.kern.OpenConnOn(tid),
+		stack: workloads.StackOf(tid),
+		buf:   q.heap.AllocLines(4096),
+	}
+}
+
+func (t *qthread) SaveState(w *checkpoint.Writer) {
+	w.Tag("mq.thread")
+	t.rnd.SaveState(w)
+	t.conn.SaveState(w)
+	w.U64(t.reqs)
+}
+
+func (t *qthread) LoadState(rd *checkpoint.Reader) {
+	rd.Expect("mq.thread")
+	t.rnd.LoadState(rd)
+	t.conn.LoadState(rd)
+	t.reqs = rd.U64()
+}
+
+// Step serves one queue request.
+func (t *qthread) Step(e *trace.Emitter) bool {
+	q := t.q
+	q.kern.Recv(e, t.conn, t.buf, 256)
+	q.bank.Exec(e, t.reqs*2654435761+uint64(t.tid), 14, 2200, t.stack, 3)
+	shard := t.rnd.Intn(len(q.rings))
+	ring := q.rings[shard]
+	slot := q.cursor[shard] % ring.Len
+	if t.rnd.Intn(2) == 0 { // produce
+		e.InFunc(q.fnProd, func() {
+			for off := uint64(0); off < 256; off += 64 {
+				v := e.Load(t.buf+off%4096, 64, trace.NoVal, false)
+				e.Store(ring.At(slot)+off, 64, v, trace.NoVal)
+			}
+			q.cursor[shard]++
+		})
+	} else { // consume
+		e.InFunc(q.fnCons, func() {
+			var v trace.Val = trace.NoVal
+			for off := uint64(0); off < 256; off += 64 {
+				v = e.Load(ring.At(slot)+off, 64, v, false)
+				e.Store(t.buf+off%4096, 64, v, trace.NoVal)
+			}
+		})
+	}
+	q.kern.Send(e, t.conn, t.buf, 256)
+	t.reqs++
+	if t.reqs%256 == 0 {
+		q.kern.SchedTick(e, t.tid)
+	}
+	return true
 }
 
 func profile(name string, m *cloudsuite.Measurement) {

@@ -12,6 +12,8 @@ package addrspace
 import (
 	"fmt"
 	"sync"
+
+	"cloudsuite/internal/sim/checkpoint"
 )
 
 // Standard layout of the simulated address space. User code, user data
@@ -111,6 +113,43 @@ func (h *Heap) Remaining() uint64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.end - h.next
+}
+
+// SaveState serializes the allocation cursor. The region geometry is
+// construction-time configuration; only the bump cursor moves at run
+// time (workloads that allocate per request, like the dataserving
+// memtable, advance it), so it is the only field a warm image carries.
+func (h *Heap) SaveState(w *checkpoint.Writer) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	w.Tag("heap")
+	w.U64(h.base)
+	w.U64(h.end)
+	w.U64(h.next)
+}
+
+// LoadState restores the cursor, validating that the heap geometry
+// matches the one the snapshot was taken under.
+func (h *Heap) LoadState(rd *checkpoint.Reader) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rd.Expect("heap")
+	base, end := rd.U64(), rd.U64()
+	next := rd.U64()
+	if rd.Err() != nil {
+		return
+	}
+	if base != h.base || end != h.end {
+		rd.Failf("heap %q geometry mismatch: snapshot [%#x,%#x), state [%#x,%#x)", h.name, base, end, h.base, h.end)
+		return
+	}
+	if next < h.next {
+		// The snapshot predates some of this instance's construction-time
+		// allocations: the workload was rebuilt differently.
+		rd.Failf("heap %q cursor %#x precedes construction watermark %#x", h.name, next, h.next)
+		return
+	}
+	h.next = next
 }
 
 // Array is a convenience view over a contiguous simulated allocation with

@@ -194,19 +194,24 @@ func (s *CheckpointStore) recordFailure() {
 }
 
 // tryDisk loads and verifies an on-disk image for key. Missing files
-// are ordinary misses; corrupt or mismatched files count as failures
-// and are left for the fresh save to overwrite.
+// are ordinary misses; corrupt or mismatched files (bad magic, content
+// hash, unsupported format version, foreign key) count as failures and
+// are deleted — an image that failed verification once will fail it on
+// every later probe, so leaving it would re-pay the multi-MB read and
+// hash on every process until a fresh save happened to overwrite it.
 func (s *CheckpointStore) tryDisk(key string) *checkpoint.Snapshot {
 	snap, err := checkpoint.LoadFile(s.path(key))
 	if err != nil {
 		if !os.IsNotExist(err) {
 			s.recordFailure()
+			os.Remove(s.path(key))
 		}
 		return nil
 	}
 	if snap.Key() != key {
 		// A hash collision or a foreign file; never restore from it.
 		s.recordFailure()
+		os.Remove(s.path(key))
 		return nil
 	}
 	return snap

@@ -3,9 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 
 	"cloudsuite/internal/obs"
+	"cloudsuite/internal/rng"
 	"cloudsuite/internal/sim/cache"
 	"cloudsuite/internal/sim/checkpoint"
 	"cloudsuite/internal/sim/counters"
@@ -230,7 +230,7 @@ func Measure(w workloads.Workload, o Options) (*Measurement, error) {
 	// PolluteBytes of LLC, shrinking the capacity available to the
 	// workload (Section 3.1). Every socket the workload runs on gets
 	// polluted — a multi-socket run has one LLC per socket.
-	var polluters []*trace.ChanGen
+	var polluters []*trace.StepGen
 	if c.polluteBytes > 0 {
 		pcores, err := polluterCores(coreOf, machine.Mem)
 		if err != nil {
@@ -257,6 +257,14 @@ func Measure(w workloads.Workload, o Options) (*Measurement, error) {
 		MaxCycles:            c.measureInsts * int64(nThreads) * 40,
 		CheckInvariantsEvery: o.InvariantChecks,
 		Obs:                  ro,
+	}
+	// Live-point capability: a workload that can serialize its shared
+	// structures upgrades checkpoints to the live flavor (pure-load
+	// restore, no warmup replay) — provided every thread generator is
+	// also serializable, which the engine verifies at save time.
+	if st, ok := w.(workloads.Stateful); ok {
+		cfg.SaveShared = st.SaveShared
+		cfg.LoadShared = st.LoadShared
 	}
 	if c.sampling.Enabled() {
 		// Sampled mode: N timed intervals of IntervalInsts each, every
@@ -414,28 +422,53 @@ func polluterCores(coreOf []int, mem cache.SystemConfig) ([]int, error) {
 	return out, nil
 }
 
-// startPolluter launches one cache-polluter thread: it traverses a
-// private array in a pseudo-random sequence sized so that accesses miss
-// the upper-level caches but hit (and therefore occupy) the LLC.
-func startPolluter(bytes uint64, id uint64, seed int64) *trace.ChanGen {
+// polluterProg is one cache-polluter thread: it traverses a private
+// array in a pseudo-random sequence sized so that accesses miss the
+// upper-level caches but hit (and therefore occupy) the LLC. It is
+// Stateful, so polluted configurations stay live-point capable.
+type polluterProg struct {
+	fn    *trace.Func //simlint:ok checkpointcov construction-time code layout
+	rnd   *rng.Rand
+	lines uint64 //simlint:ok checkpointcov derived from PolluteBytes
+	base  uint64 //simlint:ok checkpointcov derived from polluter id
+}
+
+func (p *polluterProg) Init(e *trace.Emitter) { e.Call(p.fn) }
+
+func (p *polluterProg) Step(e *trace.Emitter) bool {
+	for it := 0; it < 64; it++ {
+		// Independent random loads maximise occupancy pressure.
+		for k := 0; k < 16; k++ {
+			e.Load(p.base+(uint64(p.rnd.Int63n(int64(p.lines))))*64, 8, trace.NoVal, false)
+		}
+		e.ALUIndep(2)
+	}
+	return true
+}
+
+func (p *polluterProg) SaveState(w *checkpoint.Writer) {
+	w.Tag("polluter")
+	p.rnd.SaveState(w)
+}
+
+func (p *polluterProg) LoadState(rd *checkpoint.Reader) {
+	rd.Expect("polluter")
+	p.rnd.LoadState(rd)
+}
+
+// startPolluter builds one polluter thread's generator.
+func startPolluter(bytes uint64, id uint64, seed int64) *trace.StepGen {
 	cfg := trace.EmitterConfig{Seed: seed, BlockLen: 8, BranchEntropy: 0}
-	return trace.Start(cfg, func(e *trace.Emitter) {
-		layout := trace.NewCodeLayout(0x10_0000+id*0x1_0000, 0x1_0000)
-		fn := layout.Func("polluter", 64)
-		rng := rand.New(rand.NewSource(seed))
-		lines := bytes / 64
-		if lines == 0 {
-			lines = 1
-		}
-		base := uint64(0x20_0000_0000) + id*0x10_0000_0000
-		e.Call(fn)
-		for {
-			// Independent random loads maximise occupancy pressure.
-			for k := 0; k < 16; k++ {
-				e.Load(base+(uint64(rng.Int63n(int64(lines))))*64, 8, trace.NoVal, false)
-			}
-			e.ALUIndep(2)
-		}
+	layout := trace.NewCodeLayout(0x10_0000+id*0x1_0000, 0x1_0000)
+	lines := bytes / 64
+	if lines == 0 {
+		lines = 1
+	}
+	return trace.NewStepGen(cfg, &polluterProg{
+		fn:    layout.Func("polluter", 64),
+		rnd:   rng.New(seed),
+		lines: lines,
+		base:  uint64(0x20_0000_0000) + id*0x10_0000_0000,
 	})
 }
 

@@ -11,7 +11,10 @@ import (
 func samplingTestOptions() Options {
 	o := DefaultOptions()
 	o.Cores = 2
-	o.WarmupInsts = 100_000
+	// Warming must cover a useful fraction of the largest workload's
+	// working set (Data Serving: 128MB) or the contiguous window sits on
+	// a cold-miss transient the sampled schedule averages away.
+	o.WarmupInsts = 200_000
 	o.MeasureInsts = 40_000
 	return o
 }

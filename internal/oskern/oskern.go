@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"cloudsuite/internal/addrspace"
+	"cloudsuite/internal/sim/checkpoint"
 	"cloudsuite/internal/trace"
 )
 
@@ -29,36 +30,80 @@ type Kernel struct {
 	heap *addrspace.Heap
 
 	// Code regions (functions) of the modelled kernel paths.
-	fnSyscall   *trace.Func
-	fnSysRet    *trace.Func
-	fnSockLook  *trace.Func
-	fnTCPSend   *trace.Func
-	fnTCPRecv   *trace.Func
-	fnIPOut     *trace.Func
-	fnIPIn      *trace.Func
-	fnDevXmit   *trace.Func
-	fnSoftirq   *trace.Func
-	fnCopy      *trace.Func
-	fnSkbAlloc  *trace.Func
-	fnVFSRead   *trace.Func
-	fnPageCache *trace.Func
-	fnSched     *trace.Func
-	fnPageFault *trace.Func
-	fnSelect    *trace.Func
-	fnLockPath  *trace.Func
+	fnSyscall   *trace.Func //simlint:ok checkpointcov construction-time code layout
+	fnSysRet    *trace.Func //simlint:ok checkpointcov construction-time code layout
+	fnSockLook  *trace.Func //simlint:ok checkpointcov construction-time code layout
+	fnTCPSend   *trace.Func //simlint:ok checkpointcov construction-time code layout
+	fnTCPRecv   *trace.Func //simlint:ok checkpointcov construction-time code layout
+	fnIPOut     *trace.Func //simlint:ok checkpointcov construction-time code layout
+	fnIPIn      *trace.Func //simlint:ok checkpointcov construction-time code layout
+	fnDevXmit   *trace.Func //simlint:ok checkpointcov construction-time code layout
+	fnSoftirq   *trace.Func //simlint:ok checkpointcov construction-time code layout
+	fnCopy      *trace.Func //simlint:ok checkpointcov construction-time code layout
+	fnSkbAlloc  *trace.Func //simlint:ok checkpointcov construction-time code layout
+	fnVFSRead   *trace.Func //simlint:ok checkpointcov construction-time code layout
+	fnPageCache *trace.Func //simlint:ok checkpointcov construction-time code layout
+	fnSched     *trace.Func //simlint:ok checkpointcov construction-time code layout
+	fnPageFault *trace.Func //simlint:ok checkpointcov construction-time code layout
+	fnSelect    *trace.Func //simlint:ok checkpointcov construction-time code layout
+	fnLockPath  *trace.Func //simlint:ok checkpointcov construction-time code layout
 
 	// Shared kernel data.
-	skbPool  addrspace.Array // socket-buffer pool, reused round-robin
+	skbPool  addrspace.Array //simlint:ok checkpointcov socket-buffer pool geometry, fixed at construction
 	skbNext  atomic.Uint64
-	rings    []addrspace.Array // per-NIC descriptor rings
+	rings    []addrspace.Array //simlint:ok checkpointcov construction-time allocation geometry
 	ringCur  []atomic.Uint64
-	stats    uint64          // global netdev statistics lines
-	nicTail  []uint64        // per-NIC TX tail pointers (shared writes)
-	sockHash addrspace.Array // socket lookup hash buckets
-	runq     addrspace.Array // per-core runqueues
-	pgCache  addrspace.Array // page-cache pages for file reads
-	pcpu     addrspace.Array // per-CPU statistics blocks
+	stats    uint64   //simlint:ok checkpointcov construction-time allocation address
+	nicTail  []uint64 //simlint:ok checkpointcov construction-time allocation addresses
+	sockHash addrspace.Array //simlint:ok checkpointcov construction-time allocation geometry
+	runq     addrspace.Array //simlint:ok checkpointcov construction-time allocation geometry
+	pgCache  addrspace.Array //simlint:ok checkpointcov construction-time allocation geometry
+	pcpu     addrspace.Array //simlint:ok checkpointcov construction-time allocation geometry
 	connSeq  atomic.Uint64
+}
+
+// SaveState serializes the kernel's mutable cursors and its heap cursor.
+// Code layout and the shared data arrays are construction-time state that
+// New rebuilds identically (the kernel's construction is deterministic in
+// its Config), so only the moving parts are written.
+func (k *Kernel) SaveState(w *checkpoint.Writer) {
+	w.Tag("oskern")
+	w.U64(k.connSeq.Load())
+	w.U64(k.skbNext.Load())
+	w.U32(uint32(len(k.ringCur)))
+	for i := range k.ringCur {
+		w.U64(k.ringCur[i].Load())
+	}
+	k.heap.SaveState(w)
+}
+
+// LoadState restores cursors written by SaveState onto a freshly
+// constructed kernel with the same Config.
+func (k *Kernel) LoadState(rd *checkpoint.Reader) {
+	rd.Expect("oskern")
+	connSeq := rd.U64()
+	skbNext := rd.U64()
+	n := int(rd.U32())
+	if rd.Err() != nil {
+		return
+	}
+	if n != len(k.ringCur) {
+		rd.Failf("oskern: snapshot has %d NIC rings, kernel has %d", n, len(k.ringCur))
+		return
+	}
+	cur := make([]uint64, n)
+	for i := range cur {
+		cur[i] = rd.U64()
+	}
+	k.heap.LoadState(rd)
+	if rd.Err() != nil {
+		return
+	}
+	k.connSeq.Store(connSeq)
+	k.skbNext.Store(skbNext)
+	for i := range cur {
+		k.ringCur[i].Store(cur[i])
+	}
 }
 
 // Config scales the kernel model.
@@ -80,14 +125,30 @@ func DefaultConfig() Config { return Config{NICs: 2, PageCacheMB: 16} }
 
 // Conn is one network connection's kernel state.
 type Conn struct {
-	tcb    uint64 // TCP control block address
-	sock   uint64 // socket struct address
-	bucket uint64 // hash bucket the lookup chases through
-	skbLo  uint64 // private window of the skb pool (per-CPU-cache-like)
-	skbN   uint64
+	tcb    uint64 //simlint:ok checkpointcov TCP control block address, construction-time allocation
+	sock   uint64 //simlint:ok checkpointcov socket struct address, construction-time allocation
+	bucket uint64 //simlint:ok checkpointcov hash bucket the lookup chases through, construction-time allocation
+	skbLo  uint64 //simlint:ok checkpointcov private skb-pool window (per-CPU-cache-like), construction-time placement
+	skbN   uint64 //simlint:ok checkpointcov construction-time window size
 	skbCur uint64
-	pcpu   uint64 // per-CPU statistics lines (flushed to globals rarely)
+	pcpu   uint64 //simlint:ok checkpointcov per-CPU statistics lines (flushed to globals rarely), construction-time allocation
 	calls  uint64
+}
+
+// SaveState serializes the connection's moving cursors. The control-block
+// addresses are construction-time allocations that OpenConnOn reproduces
+// when the owning thread is rebuilt in the same order.
+func (c *Conn) SaveState(w *checkpoint.Writer) {
+	w.Tag("conn")
+	w.U64(c.skbCur)
+	w.U64(c.calls)
+}
+
+// LoadState restores cursors written by SaveState.
+func (c *Conn) LoadState(rd *checkpoint.Reader) {
+	rd.Expect("conn")
+	c.skbCur = rd.U64()
+	c.calls = rd.U64()
 }
 
 // New builds a kernel instance.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"cloudsuite/internal/addrspace"
+	"cloudsuite/internal/sim/checkpoint"
 	"cloudsuite/internal/trace"
 )
 
@@ -13,12 +14,15 @@ func runKernel(t *testing.T, n int, body func(k *Kernel, e *trace.Emitter)) []tr
 	k := New(DefaultConfig())
 	ul := trace.NewCodeLayout(addrspace.UserCodeBase, 1<<20)
 	main := ul.Func("main", 64)
-	g := trace.Start(trace.EmitterConfig{Seed: 1}, func(e *trace.Emitter) {
-		e.Call(main)
-		for {
-			body(k, e)
+	started := false
+	g := trace.NewStepGen(trace.EmitterConfig{Seed: 1}, trace.ProgFunc(func(e *trace.Emitter) bool {
+		if !started {
+			e.Call(main)
+			started = true
 		}
-	})
+		body(k, e)
+		return true
+	}))
 	defer g.Close()
 	out := make([]trace.Inst, n)
 	got := 0
@@ -177,6 +181,59 @@ func TestFutexWritesLockWord(t *testing.T) {
 	}
 	if !wrote {
 		t.Fatal("futex never wrote the lock word")
+	}
+}
+
+func TestKernelSaveLoadRoundTrip(t *testing.T) {
+	cfg := Config{NICs: 2, PageCacheMB: 1}
+	k := New(cfg)
+	conns := []*Conn{k.OpenConnOn(0), k.OpenConnOn(1)}
+	for i, c := range conns {
+		for j := 0; j < 5+i; j++ {
+			c.nextSkb(k)
+			c.calls++
+		}
+	}
+	k.skbNext.Store(17)
+	k.ringCur[1].Store(9)
+
+	var w checkpoint.Writer
+	k.SaveState(&w)
+	for _, c := range conns {
+		c.SaveState(&w)
+	}
+	snap := w.Snapshot("t")
+
+	k2 := New(cfg)
+	conns2 := []*Conn{k2.OpenConnOn(0), k2.OpenConnOn(1)}
+	rd := snap.Reader()
+	k2.LoadState(rd)
+	for _, c := range conns2 {
+		c.LoadState(rd)
+	}
+	if err := rd.Err(); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if got := k2.connSeq.Load(); got != k.connSeq.Load() {
+		t.Fatalf("connSeq %d, want %d", got, k.connSeq.Load())
+	}
+	if got := k2.skbNext.Load(); got != 17 {
+		t.Fatalf("skbNext %d, want 17", got)
+	}
+	if got := k2.ringCur[1].Load(); got != 9 {
+		t.Fatalf("ringCur[1] %d, want 9", got)
+	}
+	for i := range conns {
+		if conns2[i].skbCur != conns[i].skbCur || conns2[i].calls != conns[i].calls {
+			t.Fatalf("conn %d cursors not restored", i)
+		}
+	}
+	// A kernel built with different geometry must be rejected.
+	k3 := New(Config{NICs: 1, PageCacheMB: 1})
+	rd3 := snap.Reader()
+	k3.LoadState(rd3)
+	if rd3.Err() == nil {
+		t.Fatal("ring-count mismatch not detected")
 	}
 }
 

@@ -1,0 +1,66 @@
+package rng
+
+import "math"
+
+// Zipf draws uint64 keys in [0, Imax] with probability proportional to
+// (1+k)^-S, the skew the YCSB client popularizes for key-value request
+// streams. The sampler uses rejection-inversion over the flattened
+// distribution function (Hörmann/Derflinger), the same construction
+// math/rand uses, so draws cost O(1) with a small rejection rate.
+//
+// All fields of the sampler are derived once from (S, Imax) and never
+// change; the only mutable state of a draw sequence is the underlying
+// *Rand, which serializes through its own SaveState. The sampler itself
+// therefore needs no checkpoint section.
+type Zipf struct {
+	rnd *Rand
+
+	exp   float64 // S: the skew exponent, > 1
+	imax  float64 // largest key, as float
+	oneMQ float64 // 1 - exp
+	inv1Q float64 // 1 / (1 - exp)
+	hTail float64 // flat CDF at the tail boundary imax+0.5
+	hSpan float64 // flat CDF mass between 0.5 and the tail
+	guard float64 // acceptance threshold avoiding the h(k+0.5) eval
+}
+
+// flat is the integral of the flattened density: (1+x)^(1-q) / (1-q).
+func (z *Zipf) flat(x float64) float64 {
+	return math.Exp(z.oneMQ*math.Log(1+x)) * z.inv1Q
+}
+
+// flatInv inverts flat.
+func (z *Zipf) flatInv(y float64) float64 {
+	return math.Exp(z.inv1Q*math.Log(z.oneMQ*y)) - 1
+}
+
+// NewZipf returns a sampler over [0, imax] with exponent s drawing from
+// rnd. It panics if s <= 1 or rnd is nil, mirroring math/rand.NewZipf's
+// contract (callers normalize YCSB's 0.99 to just above 1).
+func NewZipf(rnd *Rand, s float64, imax uint64) *Zipf {
+	if rnd == nil || s <= 1 {
+		panic("rng: NewZipf requires a stream and exponent > 1")
+	}
+	z := &Zipf{rnd: rnd, exp: s, imax: float64(imax)}
+	z.oneMQ = 1 - s
+	z.inv1Q = 1 / z.oneMQ
+	z.hTail = z.flat(z.imax + 0.5)
+	z.hSpan = z.flat(0.5) - 1 - z.hTail // -1 == -(1+0)^-q, the k=0 mass
+	z.guard = 1 - z.flatInv(z.flat(1.5)-math.Exp(-s*math.Log(2)))
+	return z
+}
+
+// Next draws the next key.
+func (z *Zipf) Next() uint64 {
+	for {
+		u := z.hTail + z.rnd.Float64()*z.hSpan
+		x := z.flatInv(u)
+		k := math.Floor(x + 0.5)
+		if k-x <= z.guard {
+			return uint64(k)
+		}
+		if u >= z.flat(k+0.5)-math.Exp(-z.exp*math.Log(k+1)) {
+			return uint64(k)
+		}
+	}
+}

@@ -154,7 +154,7 @@ func TestInvariantsHoldOnRandomizedTopologies(t *testing.T) {
 // system the way the engine's warm-up loop does: instruction fetches on
 // line transitions plus every load and store, round-robin across
 // threads so accesses to shared structures interleave.
-func replayOnSystem(t *testing.T, s *System, gens []*trace.ChanGen, perThread int) {
+func replayOnSystem(t *testing.T, s *System, gens []*trace.StepGen, perThread int) {
 	t.Helper()
 	type state struct {
 		buf      []trace.Inst

@@ -8,15 +8,18 @@
 // machine (checkpointed sampling in the SMARTS/TurboSMARTS live-points
 // tradition).
 //
-// The workload side of a checkpoint is NOT serialized bytes: the trace
-// emitters are deterministic goroutines in lockstep with the
-// simulator's pull order, so their RNG and stream position are a pure
-// function of how many instructions each thread has delivered. A
-// restored run fast-forwards fresh generators through the identical
-// pull sequence (see engine.RunConfig.Restore), which re-derives the
-// OS-kernel and workload state by replay while the machine state loads
-// from the snapshot. The differential test harness proves the
-// composition byte-identical to a cold run.
+// Since format v3 a warm image also carries the generator half of the
+// machine when the workload supports it (the "live" flavor, in the
+// live-points sense): emitter RNG and call-stack state, per-thread
+// program state, the workload's shared structures, and the engine's
+// undrained fetch buffers. Restoring a live image is a pure load — no
+// part of the warmup instruction stream is re-executed. Workloads
+// without save support (the traditional-benchmark proxies) fall back
+// to the "replay" flavor: fresh generators fast-forward through the
+// identical pull sequence, re-deriving workload state by replay while
+// the machine state loads from the snapshot (see
+// engine.RunConfig.Restore). The differential test harness proves both
+// compositions byte-identical to a cold run.
 //
 // Container layout (all little-endian):
 //
@@ -43,6 +46,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 )
@@ -53,8 +57,10 @@ import (
 //
 // History: v1 stored the LLC directory's sharers as a flat uint32
 // bitmask; v2 stores the sparse sharer-set encoding that tracks up to
-// 256 cores.
-const Version = 2
+// 256 cores; v3 appends the generator section (live/replay flavor
+// byte, workload shared state, per-thread generator state, residual
+// fetch buffers) so live images restore by a pure load.
+const Version = 3
 
 //simlint:ok globalrand write-once file-format magic, read-only after initialization
 var magic = [8]byte{'C', 'S', 'C', 'K', 'P', 'T', '0', '1'}
@@ -130,6 +136,12 @@ func (w *Writer) U64(v uint64) {
 
 // I64 writes an int64 (two's complement).
 func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// F64 writes a float64 as its IEEE-754 bit pattern. Bit-exact round
+// trips matter here: generator state (branch-entropy overrides, Zipf
+// parameters) feeds back into instruction streams, so even one ULP of
+// drift would break restore determinism.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
 
 // U64s writes a length-prefixed []uint64.
 func (w *Writer) U64s(vs []uint64) {
@@ -268,6 +280,9 @@ func (r *Reader) U64() uint64 {
 // I64 reads an int64.
 func (r *Reader) I64() int64 { return int64(r.U64()) }
 
+// F64 reads a float64 written by Writer.F64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
 // U64s reads a length-prefixed []uint64 into dst, failing on a length
 // mismatch (the snapshot was taken under a different geometry).
 func (r *Reader) U64s(dst []uint64) {
@@ -397,8 +412,12 @@ func Decode(r io.Reader) (*Snapshot, error) {
 	return &Snapshot{version: version, key: string(key), payload: payload, hash: hash}, nil
 }
 
-// SaveFile writes the snapshot to path atomically (temp file + rename),
-// so concurrent readers never observe a torn image.
+// SaveFile writes the snapshot to path atomically and durably: the
+// temp file is fsynced before the rename and the directory after it,
+// so concurrent readers never observe a torn image and a crash right
+// after SaveFile returns cannot leave a zero-length or half-written
+// file under the final name (which a later run would have to detect
+// and repair).
 func (s *Snapshot) SaveFile(path string) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".ckpt-*")
@@ -410,10 +429,24 @@ func (s *Snapshot) SaveFile(path string) error {
 		tmp.Close()
 		return fmt.Errorf("checkpoint: writing %s: %w", path, err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: syncing %s: %w", path, err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("checkpoint: closing %s: %w", path, err)
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Persist the rename itself. Directory fsync is best-effort on
+	// filesystems that do not support it; the image contents are already
+	// durable either way.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // LoadFile reads and verifies a snapshot from path.

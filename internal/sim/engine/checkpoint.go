@@ -3,31 +3,71 @@ package engine
 import (
 	"fmt"
 
+	"cloudsuite/internal/obs"
 	"cloudsuite/internal/sim/cache"
 	"cloudsuite/internal/sim/checkpoint"
 )
 
-// This file implements warm-state checkpointing for the engine: the
-// machine half of a warm image is serialized at the warm->measure
-// boundary, and a restored run reaches the identical execution point by
-// loading that state while fast-forwarding the trace generators.
+// This file implements warm-state checkpointing for the engine. A warm
+// image has two halves:
 //
-// The generator side is NOT serialized. Workload goroutines run in
-// lockstep with the simulator's pull order (see internal/trace), so the
-// emitters' RNG and stream positions — and all workload and OS-kernel
-// state behind them — are a pure function of the sequence of batch
-// pulls. The restore path therefore replays warmThread's exact pull
-// pattern (same per-thread order, same per-instruction peek/advance,
-// same buffer geometry) without touching the machine; after the skip,
-// every generator, buffer, and emitter sits precisely where it sat when
-// the snapshot was taken. The differential harness in internal/core
-// proves restore(save(warm)) + measure == warm + measure byte-for-byte.
+// Machine half — serialized at the warm->measure boundary: the engine
+// clock and per-context fetch-stream state, each core's branch
+// predictor and TLB hierarchy, and the whole memory system (caches
+// with directory state, prefetchers, per-core counters, DRAM
+// controllers).
+//
+// Generator half — one of two flavors, chosen at save time:
+//
+//   - live (flavorLive): the workload supports serialization
+//     (RunConfig.SaveShared is set and every generator CanSave), so the
+//     image stores the workload's shared structures, every thread's
+//     generator state (emitter RNG, call stack, program state, buffered
+//     residue), and the engine's undrained per-context fetch buffers.
+//     Restore is a pure load: no part of the warmup instruction stream
+//     is re-executed, so fork cost is independent of WarmupInsts.
+//
+//   - replay (flavorReplay): nothing is stored. Workload goroutineless
+//     generators are deterministic in the simulator's pull order, so a
+//     restored run replays warmThread's exact pull pattern (same
+//     per-thread order, same per-instruction peek/advance, same buffer
+//     geometry) against fresh generators, re-deriving the workload and
+//     OS-kernel state while the machine state loads from the snapshot.
+//     This is the v2-compatible path; the traditional-benchmark proxies
+//     keep it exercised.
+//
+// The differential harness in internal/core proves restore(save(warm))
+// + measure == warm + measure byte-for-byte for both flavors.
 
-// saveMachine serializes the complete simulated-machine state at the
-// warm->measure boundary: the engine clock and per-context fetch-stream
-// state, each core's branch predictor and TLB hierarchy, and the whole
-// memory system (caches with directory state, prefetchers, per-core
-// counters, DRAM controllers).
+const (
+	flavorReplay uint8 = 0
+	flavorLive   uint8 = 1
+)
+
+// statefulGen is the generator side of a live-point checkpoint:
+// trace.StepGen implements it when its program is Stateful.
+type statefulGen interface {
+	CanSave() bool
+	SaveState(w *checkpoint.Writer)
+	LoadState(rd *checkpoint.Reader)
+}
+
+// liveCapable reports whether every context's generator can serialize
+// its full state.
+func liveCapable(cores []*core) bool {
+	for _, co := range cores {
+		for _, ctx := range co.ctxs {
+			sg, ok := ctx.gen.(statefulGen)
+			if !ok || !sg.CanSave() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// saveMachine serializes the complete warm image: machine half, then
+// the generator half in the richest flavor the run supports.
 func saveMachine(cfg RunConfig, clock int64, cores []*core, mem *cache.System) *checkpoint.Snapshot {
 	w := checkpoint.NewWriter()
 	w.Tag("engine")
@@ -45,14 +85,35 @@ func saveMachine(cfg RunConfig, clock int64, cores []*core, mem *cache.System) *
 		co.tlbs.SaveState(w)
 	}
 	mem.SaveState(w)
+
+	w.Tag("generators")
+	if cfg.SaveShared == nil || !liveCapable(cores) {
+		w.U8(flavorReplay)
+		return w.Snapshot(cfg.CheckpointKey)
+	}
+	w.U8(flavorLive)
+	cfg.SaveShared(w)
+	for _, co := range cores {
+		for _, ctx := range co.ctxs {
+			ctx.gen.(statefulGen).SaveState(w)
+			// The engine-side fetch buffer: instructions already pulled
+			// from the generator but not yet consumed by warming.
+			residual := ctx.buf[ctx.bufPos:ctx.bufLen]
+			w.U32(uint32(len(residual)))
+			if len(residual) > 0 {
+				w.Struct(residual)
+			}
+			w.Bool(ctx.eof)
+		}
+	}
 	return w.Snapshot(cfg.CheckpointKey)
 }
 
-// restoreMachine loads a snapshot written by saveMachine into a
-// freshly-built machine of identical configuration. The caller is
-// responsible for fast-forwarding the generators (skipThread); this
-// function only restores machine state.
-func restoreMachine(snap *checkpoint.Snapshot, cfg RunConfig, cores []*core, mem *cache.System, clock *int64) error {
+// restoreRun loads a snapshot written by saveMachine into a
+// freshly-built machine of identical configuration, then brings the
+// generators to the warm point: by pure load for a live image, by
+// deterministic replay for a replay image.
+func restoreRun(snap *checkpoint.Snapshot, cfg RunConfig, cores []*core, mem *cache.System, clock *int64) error {
 	r := snap.Reader()
 	r.Expect("engine")
 	if wi := r.I64(); r.Err() == nil && wi != cfg.WarmupInsts {
@@ -79,21 +140,94 @@ func restoreMachine(snap *checkpoint.Snapshot, cfg RunConfig, cores []*core, mem
 	if err := mem.LoadState(r); err != nil {
 		return fmt.Errorf("engine: %w", err)
 	}
+
+	r.Expect("generators")
+	flavor := r.U8()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	switch flavor {
+	case flavorLive:
+		return restoreLive(r, cfg, cores)
+	case flavorReplay:
+		return replayGenerators(cfg, cores)
+	default:
+		return fmt.Errorf("engine: unknown generator flavor %d in snapshot", flavor)
+	}
+}
+
+// restoreLive loads the generator half of a live image: workload shared
+// state, per-thread generator state, and the engine's fetch buffers.
+// Nothing executes; fork cost is a deserialization, not a replay.
+func restoreLive(r *checkpoint.Reader, cfg RunConfig, cores []*core) error {
+	if cfg.LoadShared == nil {
+		return fmt.Errorf("engine: snapshot is a live image but the run has no shared-state loader")
+	}
+	if !liveCapable(cores) {
+		return fmt.Errorf("engine: snapshot is a live image but a generator cannot load state")
+	}
+	cfg.LoadShared(r)
+	if err := r.Err(); err != nil {
+		return err
+	}
+	for _, co := range cores {
+		for _, ctx := range co.ctxs {
+			ctx.gen.(statefulGen).LoadState(r)
+			n := int(r.U32())
+			if r.Err() == nil && n > len(ctx.buf) {
+				return fmt.Errorf("engine: snapshot fetch buffer (%d insts) exceeds context capacity (%d)", n, len(ctx.buf))
+			}
+			if r.Err() != nil {
+				return r.Err()
+			}
+			if n > 0 {
+				r.Struct(ctx.buf[:n])
+			}
+			ctx.bufPos, ctx.bufLen = 0, n
+			ctx.eof = r.Bool()
+		}
+	}
 	return r.Err()
 }
 
-// skipThread fast-forwards ctx by insts instructions without touching
-// any machine state. It mirrors warmThread's consumption pattern
-// exactly — one peek/advance per instruction through the same buffer —
-// so the sequence of batch pulls (and therefore the deterministic
-// workload-goroutine interleaving) is identical to the warm run the
-// snapshot was taken from, leaving the generator, its buffer, and the
-// emitter behind it in precisely the checkpointed position.
-func skipThread(ctx *context, insts int64) {
+// replayGenerators fast-forwards every context through the warm pull
+// sequence (the replay-flavor restore). A generator that runs dry
+// before reaching the warm point is a workload/image mismatch: the
+// restored run would measure a different execution, so it fails loudly
+// instead of silently diverging.
+func replayGenerators(cfg RunConfig, cores []*core) error {
+	span := cfg.Obs.SpanStart()
+	prev := cfg.Obs.Enter(obs.PhaseCkptReplay)
+	defer func() {
+		cfg.Obs.SpanEnd("ckpt-replay", span)
+		cfg.Obs.Enter(prev)
+	}()
+	for _, co := range cores {
+		for _, ctx := range co.ctxs {
+			if skipped := skipThread(ctx, cfg.WarmupInsts); skipped < cfg.WarmupInsts {
+				return fmt.Errorf("engine: replay fast-forward of thread %d ended after %d of %d instructions (snapshot does not match this workload)",
+					ctx.tid, skipped, cfg.WarmupInsts)
+			}
+		}
+	}
+	return nil
+}
+
+// skipThread fast-forwards ctx by up to insts instructions without
+// touching any machine state, returning how many it skipped. It mirrors
+// warmThread's consumption pattern exactly — one peek/advance per
+// instruction through the same buffer — so the sequence of batch pulls
+// (and therefore the deterministic workload interleaving) is identical
+// to the warm run the snapshot was taken from, leaving the generator,
+// its buffer, and the emitter behind it in precisely the checkpointed
+// position. A short count means the stream ended early; callers must
+// treat that as a failed restore, not a warm machine.
+func skipThread(ctx *context, insts int64) int64 {
 	for fetched := int64(0); fetched < insts; fetched++ {
 		if _, ok := ctx.peek(); !ok {
-			return
+			return fetched
 		}
 		ctx.advance()
 	}
+	return insts
 }

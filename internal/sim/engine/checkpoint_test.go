@@ -185,3 +185,176 @@ func TestRestoreRejectsMismatchedConfiguration(t *testing.T) {
 		t.Fatalf("core-count mismatch not rejected: %v", err)
 	}
 }
+
+// finiteThreads builds a thread set whose streams end after exactly n
+// instructions each (deterministic per seed).
+func finiteThreads(n int) []Thread {
+	take := func(seed int64) trace.Generator {
+		loop := mixedStream(seed, 1<<22, 4096).(*trace.LoopGen)
+		insts := make([]trace.Inst, n)
+		for i := range insts {
+			insts[i] = loop.Insts[i%len(loop.Insts)]
+		}
+		return &trace.SliceGen{Insts: insts}
+	}
+	return []Thread{
+		{Gen: take(1), Core: 0, Measured: true},
+		{Gen: take(2), Core: 1, Measured: true},
+	}
+}
+
+// TestReplayShortfallFailsRestore: a replay-flavor restore whose
+// generator stream ends before the warm point must fail with an error
+// reporting the shortfall — a short stream means the restored run would
+// measure a different execution than the one the image was taken from,
+// so it must never be passed off as a warm machine.
+func TestReplayShortfallFailsRestore(t *testing.T) {
+	cfg := twoSocketConfig()
+	cfg.WarmupInsts = 30_000
+	var snap *checkpoint.Snapshot
+	cfg.Checkpoint = func(s *checkpoint.Snapshot) { snap = s }
+	if _, err := Run(cfg, finiteThreads(50_000)); err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("Checkpoint callback never fired")
+	}
+
+	rcfg := twoSocketConfig()
+	rcfg.WarmupInsts = 30_000
+	rcfg.Restore = snap
+	_, err := Run(rcfg, finiteThreads(10_000))
+	if err == nil {
+		t.Fatal("restore with a short generator stream must fail, not silently diverge")
+	}
+	for _, want := range []string{"10000", "30000"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("shortfall error %q does not report %s", err, want)
+		}
+	}
+}
+
+// ctrShared is the trivially-serializable shared half of the live-image
+// test workload below.
+type ctrShared struct {
+	fn   *trace.Func // construction-time code layout
+	hits uint64
+}
+
+func newCtrShared() *ctrShared {
+	code := trace.NewCodeLayout(0x40_0000, 1<<20)
+	return &ctrShared{fn: code.Func("ctr_main", 400)}
+}
+
+func (s *ctrShared) SaveShared(w *checkpoint.Writer) {
+	w.Tag("ctr.shared")
+	w.U64(s.hits)
+}
+
+func (s *ctrShared) LoadShared(rd *checkpoint.Reader) {
+	rd.Expect("ctr.shared")
+	s.hits = rd.U64()
+}
+
+// ctrProg is a minimal Stateful program: its emitted stream depends on
+// both per-thread state (n) and shared state (hits), so a pure-load
+// restore that missed either would diverge from the cold run.
+type ctrProg struct {
+	s *ctrShared // shared half, serialized via SaveShared
+	n uint64
+}
+
+func (p *ctrProg) Init(e *trace.Emitter) { e.Call(p.s.fn) }
+
+func (p *ctrProg) Step(e *trace.Emitter) bool {
+	addr := 0x4000_0000 + ((p.n*97+p.s.hits*31)%(1<<16))*64
+	v := e.Load(addr, 8, trace.NoVal, false)
+	e.Store(addr+8, 8, v, trace.NoVal)
+	e.ALUIndep(3)
+	p.n++
+	p.s.hits++
+	return true
+}
+
+func (p *ctrProg) SaveState(w *checkpoint.Writer) {
+	w.Tag("ctr.prog")
+	w.U64(p.n)
+}
+
+func (p *ctrProg) LoadState(rd *checkpoint.Reader) {
+	rd.Expect("ctr.prog")
+	p.n = rd.U64()
+}
+
+// liveSetup builds a fresh shared state plus two StepGen threads, and a
+// config wired for live-flavor checkpoints.
+func liveSetup() (RunConfig, []Thread) {
+	s := newCtrShared()
+	mk := func(seed int64) *trace.StepGen {
+		return trace.NewStepGen(trace.EmitterConfig{Seed: seed, BlockLen: 8}, &ctrProg{s: s})
+	}
+	cfg := twoSocketConfig()
+	cfg.SaveShared = s.SaveShared
+	cfg.LoadShared = s.LoadShared
+	return cfg, []Thread{
+		{Gen: mk(11), Core: 0, Measured: true},
+		{Gen: mk(12), Core: 1, Measured: true},
+	}
+}
+
+// TestLiveImageRestoresByPureLoad: with serializable generators and
+// shared state, the image carries the generator half, and a restored
+// run — whose fresh generators are never advanced — reproduces the cold
+// run exactly. The warm budget deliberately leaves a partial batch in
+// the engine's fetch buffers so the residual-buffer path is exercised.
+func TestLiveImageRestoresByPureLoad(t *testing.T) {
+	coldCfg, coldThreads := liveSetup()
+	cold, err := Run(coldCfg, coldThreads)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var snap *checkpoint.Snapshot
+	saveCfg, saveThreads := liveSetup()
+	saveCfg.Checkpoint = func(s *checkpoint.Snapshot) { snap = s }
+	saved, err := Run(saveCfg, saveThreads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("Checkpoint callback never fired")
+	}
+	if !reflect.DeepEqual(cold, saved) {
+		t.Fatal("taking a live checkpoint changed the measurement")
+	}
+
+	restCfg, restThreads := liveSetup()
+	restCfg.Restore = snap
+	restored, err := Run(restCfg, restThreads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, restored) {
+		t.Fatalf("pure-load restore differs from cold run:\ncold     = %+v\nrestored = %+v",
+			cold.Total, restored.Total)
+	}
+}
+
+// TestLiveImageNeedsLoader: restoring a live image into a run that
+// cannot load shared state must fail loudly, not fall through to a
+// replay that was never recorded.
+func TestLiveImageNeedsLoader(t *testing.T) {
+	var snap *checkpoint.Snapshot
+	saveCfg, saveThreads := liveSetup()
+	saveCfg.Checkpoint = func(s *checkpoint.Snapshot) { snap = s }
+	if _, err := Run(saveCfg, saveThreads); err != nil {
+		t.Fatal(err)
+	}
+
+	restCfg, restThreads := liveSetup()
+	restCfg.Restore = snap
+	restCfg.LoadShared = nil
+	if _, err := Run(restCfg, restThreads); err == nil || !strings.Contains(err.Error(), "live image") {
+		t.Fatalf("live image without a loader not rejected: %v", err)
+	}
+}

@@ -108,23 +108,41 @@ type RunConfig struct {
 	// Checkpoint, when non-nil, is invoked once at the warm->measure
 	// boundary (after WarmupInsts of functional warming, before the
 	// first timed window) with a snapshot of the complete simulated-
-	// machine state. It is not invoked on restored runs. The callback
-	// runs on the simulation goroutine; a slow callback delays the
-	// measurement but cannot change its result.
+	// machine state — and, when SaveShared is set and every generator
+	// supports it, the complete generator state too (a "live" image
+	// that restores by a pure load). It is not invoked on restored
+	// runs. The callback runs on the simulation goroutine; a slow
+	// callback delays the measurement but cannot change its result.
 	Checkpoint func(*checkpoint.Snapshot)
+	// SaveShared and LoadShared, when non-nil, serialize and restore
+	// the workload's shared structures (data-store contents, kernel
+	// state, allocator cursors — everything the per-thread generators
+	// reference but do not own). Setting SaveShared upgrades snapshots
+	// taken by this run to the live flavor if every thread's generator
+	// is also serializable; a live image restores without replaying
+	// any of the warmup instruction stream. LoadShared must accept
+	// exactly what SaveShared wrote (signatures match
+	// workloads.Stateful; errors flow through the Reader).
+	SaveShared func(*checkpoint.Writer)
+	LoadShared func(*checkpoint.Reader)
 	// CheckpointKey is the identity string recorded in snapshots taken
 	// by this run; restore-side caches use it to name the warm-relevant
 	// configuration the image belongs to.
 	CheckpointKey string
 	// Restore, when non-nil, starts the run from the given warm
-	// snapshot instead of warming from cold: the trace generators are
-	// fast-forwarded WarmupInsts per thread — re-running the workload
-	// deterministically so the emitters' RNG, stream positions, and all
-	// workload/OS-model state reach the warm point — while the machine
-	// state loads from the snapshot. The snapshot must come from a run
-	// with identical warm-relevant configuration (machine, threads, and
-	// WarmupInsts); mismatches fail with an error. A restored run is
-	// byte-identical to the warm run it forked from.
+	// snapshot instead of warming from cold. A live image restores by
+	// a pure load: machine state, workload shared state (via
+	// LoadShared), and every thread's generator state deserialize
+	// directly, with no instruction replay. A replay image instead
+	// fast-forwards the trace generators WarmupInsts per thread —
+	// re-running the workload deterministically so the emitters' RNG,
+	// stream positions, and all workload/OS-model state reach the warm
+	// point — while the machine state loads from the snapshot. The
+	// snapshot must come from a run with identical warm-relevant
+	// configuration (machine, threads, and WarmupInsts); mismatches —
+	// including a generator stream that ends before the warm point —
+	// fail with an error. A restored run is byte-identical to the warm
+	// run it forked from.
 	Restore *checkpoint.Snapshot
 
 	// CheckInvariantsEvery, when positive, arms the memory system's
@@ -372,22 +390,16 @@ func Run(cfg RunConfig, threads []Thread) (*Result, error) {
 	// the warmed machine state loads from the snapshot.
 	clock := int64(0)
 	if cfg.Restore != nil {
-		// Replay + restore instead of warming. Metric attribution: the
-		// fast-forward loop is ckpt_replay, but generation inside it
+		// Load the warm image instead of warming. The whole restore is
+		// ckpt_restore; only a replay-flavor image enters ckpt_replay
+		// (for its generator fast-forward), so live forks report
+		// ckpt_replay ~ 0. Metric attribution inside replay: generation
 		// lands in trace_gen (the carve-out in peek) — deliberately, so
 		// the breakdown shows that replay cost IS trace generation. The
 		// coarse spans are inclusive wall intervals.
 		span := cfg.Obs.SpanStart()
-		prev := cfg.Obs.Enter(obs.PhaseCkptReplay)
-		for _, co := range cores {
-			for _, ctx := range co.ctxs {
-				skipThread(ctx, cfg.WarmupInsts)
-			}
-		}
-		cfg.Obs.SpanEnd("ckpt-replay", span)
-		span = cfg.Obs.SpanStart()
-		cfg.Obs.Enter(obs.PhaseCkptRestore)
-		err := restoreMachine(cfg.Restore, cfg, cores, mem, &clock)
+		prev := cfg.Obs.Enter(obs.PhaseCkptRestore)
+		err := restoreRun(cfg.Restore, cfg, cores, mem, &clock)
 		cfg.Obs.SpanEnd("ckpt-restore", span)
 		cfg.Obs.Enter(prev)
 		if err != nil {

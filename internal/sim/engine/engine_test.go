@@ -451,13 +451,16 @@ func TestBudgetGuards(t *testing.T) {
 func TestRunRejectsMoreThan32Cores(t *testing.T) {
 	cfg := RunConfig{Mem: cache.DefaultSystemConfig()}
 	cfg.Mem.Sockets, cfg.Mem.CoresPerSocket = 6, 6
-	gen := trace.Start(trace.EmitterConfig{Seed: 1, BlockLen: 4}, func(e *trace.Emitter) {
-		fn := trace.NewCodeLayout(0x40_0000, 0x1_0000).Func("f", 64)
-		e.Call(fn)
-		for {
-			e.ALUIndep(4)
+	fn := trace.NewCodeLayout(0x40_0000, 0x1_0000).Func("f", 64)
+	started := false
+	gen := trace.NewStepGen(trace.EmitterConfig{Seed: 1, BlockLen: 4}, trace.ProgFunc(func(e *trace.Emitter) bool {
+		if !started {
+			e.Call(fn)
+			started = true
 		}
-	})
+		e.ALUIndep(4)
+		return true
+	}))
 	defer gen.Close()
 	_, err := Run(cfg, []Thread{{Gen: gen, Core: 0, Measured: true}})
 	if err == nil {

@@ -2,7 +2,9 @@ package trace
 
 import (
 	"fmt"
-	"math/rand"
+
+	"cloudsuite/internal/rng"
+	"cloudsuite/internal/sim/checkpoint"
 )
 
 // Val identifies a value produced earlier in the dynamic instruction
@@ -86,8 +88,6 @@ type EmitterConfig struct {
 	BranchEntropy float64
 	// Seed initialises the emitter's private random stream.
 	Seed int64
-	// BatchLen is the channel batch size used by Start. Zero selects 2048.
-	BatchLen int
 }
 
 // Emitter converts workload-level events (loads, stores, compute,
@@ -95,19 +95,19 @@ type EmitterConfig struct {
 // simulator. It maintains the program counter, inserts realistic
 // control flow, and converts Val handles into dependence distances.
 //
-// Emitters are created by Start and must only be used from the workload
-// goroutine that Start runs.
+// Emitters run synchronously on the simulator goroutine: a Program's
+// Step method emits into the buffer and returns, and the owning StepGen
+// drains the buffer into the consumer. There is no workload goroutine,
+// which is what makes the whole generator — RNG, call stack, buffered
+// residue — serializable through SaveState/LoadState for live-point
+// checkpoints (checkpoint format v3).
 type Emitter struct {
 	cfg   EmitterConfig
-	rng   *rand.Rand
-	buf   []Inst
-	alt   []Inst // spare batch buffer, swapped with buf at flush
-	n     int
-	seq   int64 // absolute index of the next instruction
-	ch    chan<- []Inst
-	gate  <-chan struct{}
-	stop  <-chan struct{}
-	funcs []frame // call stack
+	rng   *rng.Rand
+	buf   []Inst // pending instructions, grown as a Step emits
+	pos   int    // read cursor: buf[pos:] is not yet consumed
+	seq   int64  // absolute index of the next instruction
+	funcs []frame
 	// untilBranch counts down instructions until the next auto branch.
 	untilBranch int
 	kernelDepth int
@@ -124,41 +124,18 @@ type frameRet struct {
 	pc uint64
 }
 
-// stopEmit unwinds the workload goroutine when the generator is closed.
-type stopEmit struct{}
-
-func newEmitter(cfg EmitterConfig, ch chan<- []Inst, gate, stop <-chan struct{}) *Emitter {
+// NewEmitter returns an emitter with an empty call stack. Most callers
+// want NewStepGen, which pairs the emitter with a Program.
+func NewEmitter(cfg EmitterConfig) *Emitter {
 	if cfg.BlockLen <= 0 {
 		cfg.BlockLen = 6
 	}
-	if cfg.BatchLen <= 0 {
-		cfg.BatchLen = 2048
-	}
 	e := &Emitter{
-		cfg:  cfg,
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
-		buf:  make([]Inst, cfg.BatchLen),
-		alt:  make([]Inst, cfg.BatchLen),
-		ch:   ch,
-		gate: gate,
-		stop: stop,
+		cfg: cfg,
+		rng: rng.New(cfg.Seed),
 	}
 	e.untilBranch = e.nextBlockLen()
 	return e
-}
-
-// await blocks until the consumer requests the next batch. It is the
-// lockstep half of the generator protocol (see Start): workload code
-// only executes between a batch request and its delivery, so the
-// interleaving of workload goroutines is a deterministic function of
-// the simulator's pull order and runs with the same seed are
-// bit-identical.
-func (e *Emitter) await() {
-	select {
-	case <-e.gate:
-	case <-e.stop:
-		panic(stopEmit{})
-	}
 }
 
 func (e *Emitter) nextBlockLen() int {
@@ -172,29 +149,24 @@ func (e *Emitter) nextBlockLen() int {
 func (e *Emitter) Seq() int64 { return e.seq }
 
 // Rand returns the emitter's private random stream, for workloads that
-// need reproducible randomness tied to the thread seed.
-func (e *Emitter) Rand() *rand.Rand { return e.rng }
+// need reproducible randomness tied to the thread seed. The stream is
+// part of the emitter's checkpointed state.
+func (e *Emitter) Rand() *rng.Rand { return e.rng }
 
-func (e *Emitter) flush() {
-	if e.n == 0 {
-		return
+// pending reports how many emitted instructions await consumption.
+func (e *Emitter) pending() int { return len(e.buf) - e.pos }
+
+// drain copies pending instructions into out and advances the cursor.
+func (e *Emitter) drain(out []Inst) int {
+	n := copy(out, e.buf[e.pos:])
+	e.pos += n
+	if e.pos == len(e.buf) {
+		// Fully consumed: recycle the buffer so steady state allocates
+		// nothing. Consumers copy out of the batch before the next Step.
+		e.buf = e.buf[:0]
+		e.pos = 0
 	}
-	batch := e.buf[:e.n:e.n]
-	select {
-	case e.ch <- batch:
-	case <-e.stop:
-		panic(stopEmit{})
-	}
-	// Lockstep: pause until the next batch is requested so no workload
-	// code runs ahead of the simulator.
-	e.await()
-	// Double buffering instead of a fresh allocation per batch: the
-	// consumer requests batch k+1 only after exhausting batch k, so by
-	// the time this flush returns (a k+1 request arrived) the buffer of
-	// batch k-1 — the one swapped out here — is no longer referenced.
-	// Batch k itself stays untouched in the other buffer.
-	e.buf, e.alt = e.alt, e.buf
-	e.n = 0
+	return n
 }
 
 func (e *Emitter) dist(v Val) int32 {
@@ -234,12 +206,8 @@ func (e *Emitter) nextPC() uint64 {
 }
 
 func (e *Emitter) push(i Inst) Val {
-	if e.n == len(e.buf) {
-		e.flush()
-	}
 	i.Kernel = e.kernelDepth > 0
-	e.buf[e.n] = i
-	e.n++
+	e.buf = append(e.buf, i)
 	v := Val(e.seq)
 	e.seq++
 
@@ -300,11 +268,7 @@ func (e *Emitter) autoBranch() {
 			fr.pc = fr.fn.Entry
 		}
 	}
-	if e.n == len(e.buf) {
-		e.flush()
-	}
-	e.buf[e.n] = Inst{PC: pc, Op: OpBranch, Taken: taken, Target: target, DepA: dep, Kernel: e.kernelDepth > 0}
-	e.n++
+	e.buf = append(e.buf, Inst{PC: pc, Op: OpBranch, Taken: taken, Target: target, DepA: dep, Kernel: e.kernelDepth > 0})
 	e.seq++
 }
 
@@ -314,11 +278,7 @@ func (e *Emitter) Call(fn *Func) {
 	if len(e.funcs) > 0 {
 		fr := e.curFrame()
 		pc := e.nextPC()
-		if e.n == len(e.buf) {
-			e.flush()
-		}
-		e.buf[e.n] = Inst{PC: pc, Op: OpBranch, Taken: true, Uncond: true, Target: fn.Entry, Kernel: e.kernelDepth > 0}
-		e.n++
+		e.buf = append(e.buf, Inst{PC: pc, Op: OpBranch, Taken: true, Uncond: true, Target: fn.Entry, Kernel: e.kernelDepth > 0})
 		e.seq++
 		e.funcs = append(e.funcs, frame{fn: fn, pc: fn.Entry, ret: frameRet{fn: fr.fn, pc: fr.pc}})
 		return
@@ -335,11 +295,7 @@ func (e *Emitter) Ret() {
 	e.funcs = e.funcs[:len(e.funcs)-1]
 	if fr.ret.fn != nil {
 		pc := fr.pc
-		if e.n == len(e.buf) {
-			e.flush()
-		}
-		e.buf[e.n] = Inst{PC: pc, Op: OpBranch, Taken: true, Uncond: true, Target: fr.ret.pc, Kernel: e.kernelDepth > 0}
-		e.n++
+		e.buf = append(e.buf, Inst{PC: pc, Op: OpBranch, Taken: true, Uncond: true, Target: fr.ret.pc, Kernel: e.kernelDepth > 0})
 		e.seq++
 	}
 }
@@ -449,102 +405,197 @@ func (e *Emitter) Branch(taken bool, dep Val) {
 	e.push(Inst{PC: pc, Op: OpBranch, Taken: taken, Target: target, DepA: e.dist(dep)})
 }
 
-// ChanGen adapts a channel of batches to the Generator interface.
-// It is produced by Start and owns the background workload goroutine.
+// SaveState serializes the complete emitter state: configuration, RNG
+// position, call stack (with per-frame code-region geometry), and the
+// buffered residue of the last Step that the consumer has not drained
+// yet. Restoring from this state continues the instruction stream at
+// exactly the next instruction, with no replay.
+func (e *Emitter) SaveState(w *checkpoint.Writer) {
+	w.Tag("emitter")
+	w.U32(uint32(e.cfg.BlockLen))
+	w.F64(e.cfg.BranchEntropy)
+	w.I64(e.cfg.Seed)
+	e.rng.SaveState(w)
+	w.I64(e.seq)
+	w.U32(uint32(e.untilBranch))
+	w.U32(uint32(e.kernelDepth))
+	w.U32(uint32(len(e.funcs)))
+	for i := range e.funcs {
+		fr := &e.funcs[i]
+		w.U64(fr.fn.Entry)
+		w.U64(fr.fn.Size)
+		w.F64(fr.fn.BranchEntropy)
+		w.U64(fr.pc)
+		w.Bool(fr.ret.fn != nil)
+		if fr.ret.fn != nil {
+			w.U64(fr.ret.fn.Entry)
+			w.U64(fr.ret.fn.Size)
+			w.F64(fr.ret.fn.BranchEntropy)
+			w.U64(fr.ret.pc)
+		}
+	}
+	residual := e.buf[e.pos:]
+	w.U32(uint32(len(residual)))
+	w.Struct(residual)
+}
+
+// LoadState restores state written by SaveState. The call stack is
+// rebuilt with fresh Func values carrying the saved geometry — the
+// emitter only ever reads Entry/Size/BranchEntropy from a frame's
+// function, so pointer identity with the workload's own Func values is
+// not required (Name is diagnostics-only and restored frames carry a
+// placeholder).
+func (e *Emitter) LoadState(rd *checkpoint.Reader) {
+	rd.Expect("emitter")
+	e.cfg.BlockLen = int(rd.U32())
+	e.cfg.BranchEntropy = rd.F64()
+	e.cfg.Seed = rd.I64()
+	e.rng.LoadState(rd)
+	e.seq = rd.I64()
+	e.untilBranch = int(rd.U32())
+	e.kernelDepth = int(rd.U32())
+	n := int(rd.U32())
+	if rd.Err() != nil {
+		return
+	}
+	e.funcs = make([]frame, n)
+	for i := range e.funcs {
+		fn := &Func{Name: "restored"}
+		fn.Entry = rd.U64()
+		fn.Size = rd.U64()
+		fn.BranchEntropy = rd.F64()
+		fr := frame{fn: fn, pc: rd.U64()}
+		if rd.Bool() {
+			ret := &Func{Name: "restored-ret"}
+			ret.Entry = rd.U64()
+			ret.Size = rd.U64()
+			ret.BranchEntropy = rd.F64()
+			fr.ret = frameRet{fn: ret, pc: rd.U64()}
+		}
+		e.funcs[i] = fr
+	}
+	k := int(rd.U32())
+	if rd.Err() != nil {
+		return
+	}
+	e.buf = make([]Inst, k)
+	e.pos = 0
+	rd.Struct(e.buf)
+}
+
+// Program is a resumable workload thread. Step emits one bounded unit of
+// work into the emitter (typically one request, one transaction, or one
+// chunk of a long sweep — aim for well under 100k instructions per step)
+// and returns false when the thread has nothing further to produce.
 //
-// Generation is lockstep: the workload goroutine only executes between
-// a Next call that needs a batch and the delivery of that batch. At
-// most one workload goroutine of a simulation therefore runs at a
-// time, in exactly the order the (single-threaded) simulator pulls
-// batches, which makes a run a deterministic function of its seeds
-// even when threads share data structures.
-type ChanGen struct {
-	ch   chan []Inst
-	gate chan struct{}
-	stop chan struct{}
-	cur  []Inst
-	pos  int
+// Steps run synchronously on the goroutine that pulls from the StepGen,
+// in exactly the order the (single-threaded) simulator drains
+// generators. That ordering, plus the seeded emitter RNG, makes a run a
+// deterministic function of its seeds even when threads share data
+// structures — the same property the earlier goroutine-based generator
+// obtained through lockstep channels, now structural instead of
+// protocol-enforced.
+type Program interface {
+	Step(e *Emitter) bool
+}
+
+// ProgFunc adapts a plain step function to Program.
+type ProgFunc func(e *Emitter) bool
+
+// Step implements Program.
+func (f ProgFunc) Step(e *Emitter) bool { return f(e) }
+
+// Initer is implemented by programs that need to set up the emitter once
+// before the first Step — typically pushing the base call frame (a Call
+// with an empty stack emits no instruction). Init must only touch the
+// emitter: restoring a checkpoint rebuilds the emitter state wholesale
+// after Init runs, so side effects on the program itself would diverge.
+type Initer interface {
+	Init(e *Emitter)
+}
+
+// Stateful is implemented by programs whose complete per-thread state
+// can be serialized. When every thread of a workload is Stateful (and
+// the workload's shared structures serialize too), a warm image stores
+// the generator side of the machine and restore is a pure load with no
+// replay; otherwise the engine falls back to replay-based restore.
+type Stateful interface {
+	SaveState(w *checkpoint.Writer)
+	LoadState(rd *checkpoint.Reader)
+}
+
+// StepGen adapts a Program to the Generator interface, owning the
+// emitter the program emits into. It replaces the goroutine-per-thread
+// generator: there is no background goroutine, no channel protocol, and
+// the whole generator state is serializable when the program is
+// Stateful.
+type StepGen struct {
+	e    *Emitter
+	prog Program
 	done bool
 }
 
+// NewStepGen returns a generator running prog with a fresh emitter. If
+// prog implements Initer, its Init hook runs immediately.
+func NewStepGen(cfg EmitterConfig, prog Program) *StepGen {
+	e := NewEmitter(cfg)
+	if init, ok := prog.(Initer); ok {
+		init.Init(e)
+	}
+	return &StepGen{e: e, prog: prog}
+}
+
+// Emitter exposes the generator's emitter, for tests.
+func (g *StepGen) Emitter() *Emitter { return g.e }
+
 // Next implements Generator.
-func (g *ChanGen) Next(out []Inst) int {
+func (g *StepGen) Next(out []Inst) int {
 	total := 0
 	for total < len(out) {
-		if g.pos == len(g.cur) {
+		if g.e.pending() == 0 {
 			if g.done {
 				break
 			}
-			// Wake the producer for exactly one batch. The gate holds one
-			// buffered token; after the stream ends extra tokens are
-			// dropped here rather than blocking.
-			select {
-			case g.gate <- struct{}{}:
-			default:
-			}
-			batch, ok := <-g.ch
-			if !ok {
+			if !g.prog.Step(g.e) {
 				g.done = true
-				break
 			}
-			g.cur, g.pos = batch, 0
+			continue // drain whatever the (possibly final) step emitted
 		}
-		n := copy(out[total:], g.cur[g.pos:])
-		g.pos += n
-		total += n
+		total += g.e.drain(out[total:])
 	}
 	return total
 }
 
-// Close terminates the workload goroutine, drains the channel, and
-// discards any buffered instructions.
-func (g *ChanGen) Close() {
-	select {
-	case <-g.stop:
-	default:
-		close(g.stop)
-	}
-	for range g.ch {
-	}
-	g.cur, g.pos = nil, 0
+// Close implements Closer: it ends the stream and discards any buffered
+// instructions. There is no goroutine to unwind.
+func (g *StepGen) Close() {
 	g.done = true
+	g.e.buf, g.e.pos = nil, 0
 }
 
-// Start launches run on its own goroutine with a fresh Emitter and
-// returns the generator producing its instruction stream. When run
-// returns, the stream ends. When the generator is closed, the goroutine
-// is unwound at its next emission.
-//
-// The goroutine runs in lockstep with the consumer (see ChanGen): it
-// computes one batch per request and is parked otherwise, so runs are
-// reproducible and concurrent simulations do not interfere.
-//
-// Because any emitter call can park the goroutine at a batch boundary,
-// workload code must NOT hold a Go lock across emitter calls: a parked
-// lock holder would deadlock every other thread of the workload that
-// contends for the lock (their batches can never be delivered while
-// they block on it). Record the data needed under the lock, release
-// it, then emit — see the dataserving skiplist paths for the pattern.
-// Plain atomics are fine.
-func Start(cfg EmitterConfig, run func(*Emitter)) *ChanGen {
-	ch := make(chan []Inst)
-	gate := make(chan struct{}, 1)
-	stop := make(chan struct{})
-	g := &ChanGen{ch: ch, gate: gate, stop: stop}
-	go func() {
-		defer close(ch)
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(stopEmit); ok {
-					return // generator closed; normal shutdown
-				}
-				panic(r)
-			}
-		}()
-		e := newEmitter(cfg, ch, gate, stop)
-		e.await() // do not run workload code before the first request
-		run(e)
-		e.flush()
-	}()
-	return g
+// CanSave reports whether the full generator state — emitter plus
+// program — is serializable, making the thread eligible for live-point
+// (pure-load) checkpoints.
+func (g *StepGen) CanSave() bool {
+	_, ok := g.prog.(Stateful)
+	return ok
+}
+
+// SaveState serializes the generator: progress flag, emitter, and the
+// program's own per-thread state. It panics if CanSave is false; the
+// engine checks eligibility before choosing the live format.
+func (g *StepGen) SaveState(w *checkpoint.Writer) {
+	w.Tag("stepgen")
+	w.Bool(g.done)
+	g.e.SaveState(w)
+	g.prog.(Stateful).SaveState(w)
+}
+
+// LoadState restores state written by SaveState onto a freshly
+// constructed generator for the same program and configuration.
+func (g *StepGen) LoadState(rd *checkpoint.Reader) {
+	rd.Expect("stepgen")
+	g.done = rd.Bool()
+	g.e.LoadState(rd)
+	g.prog.(Stateful).LoadState(rd)
 }

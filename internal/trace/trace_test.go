@@ -3,6 +3,8 @@ package trace
 import (
 	"testing"
 	"testing/quick"
+
+	"cloudsuite/internal/sim/checkpoint"
 )
 
 func TestOpString(t *testing.T) {
@@ -87,10 +89,18 @@ func TestCodeLayoutExhaustionPanics(t *testing.T) {
 	l.Func("too-big", 1000)
 }
 
+// oneShot wraps a run-once body as a single-step generator.
+func oneShot(cfg EmitterConfig, body func(e *Emitter)) *StepGen {
+	return NewStepGen(cfg, ProgFunc(func(e *Emitter) bool {
+		body(e)
+		return false
+	}))
+}
+
 // collect drains up to n instructions from a one-shot workload body.
 func collect(t *testing.T, n int, body func(e *Emitter)) []Inst {
 	t.Helper()
-	g := Start(EmitterConfig{Seed: 1}, body)
+	g := oneShot(EmitterConfig{Seed: 1}, body)
 	defer g.Close()
 	out := make([]Inst, n)
 	got := 0
@@ -130,7 +140,7 @@ func TestEmitterDependenceDistances(t *testing.T) {
 	f := l.Func("f", 64)
 	// Use a huge block length to suppress auto branches so distances are
 	// exactly deterministic.
-	g := Start(EmitterConfig{Seed: 1, BlockLen: 1 << 20}, func(e *Emitter) {
+	g := oneShot(EmitterConfig{Seed: 1, BlockLen: 1 << 20}, func(e *Emitter) {
 		e.InFunc(f, func() {
 			v := e.Load(0x1000, 8, NoVal, false)
 			e.ALU(v, NoVal) // distance 1
@@ -206,22 +216,46 @@ func TestEmitterBranchRate(t *testing.T) {
 	}
 }
 
-func TestEmitterCloseUnblocksWorkload(t *testing.T) {
+// endlessProg steps forever, emitting a small burst of ALU work per step.
+type endlessProg struct {
+	fn *Func
+}
+
+func (p *endlessProg) Init(e *Emitter) { e.Call(p.fn) }
+
+func (p *endlessProg) Step(e *Emitter) bool {
+	e.ALUIndep(16)
+	return true
+}
+
+func TestStepGenEndlessProgramAndClose(t *testing.T) {
 	l := NewCodeLayout(0x400000, 1<<20)
 	f := l.Func("f", 64)
-	g := Start(EmitterConfig{Seed: 1}, func(e *Emitter) {
-		e.Call(f)
-		for { // infinite workload
-			e.ALU(NoVal, NoVal)
-		}
-	})
+	g := NewStepGen(EmitterConfig{Seed: 1}, &endlessProg{fn: f})
 	out := make([]Inst, 100)
 	if n := g.Next(out); n != 100 {
 		t.Fatalf("expected 100 insts, got %d", n)
 	}
-	g.Close() // must not hang
+	g.Close()
 	if n := g.Next(out); n != 0 {
 		t.Fatalf("closed generator returned %d insts", n)
+	}
+}
+
+func TestStepGenDrainsFinalStep(t *testing.T) {
+	l := NewCodeLayout(0x400000, 1<<20)
+	f := l.Func("f", 64)
+	// A program whose only step emits and immediately reports exhaustion:
+	// its instructions must still come out.
+	g := oneShot(EmitterConfig{Seed: 1, BlockLen: 1 << 20}, func(e *Emitter) {
+		e.InFunc(f, func() { e.ALUIndep(5) })
+	})
+	out := make([]Inst, 64)
+	if n := g.Next(out); n < 5 {
+		t.Fatalf("final-step instructions lost: got %d", n)
+	}
+	if n := g.Next(out); n != 0 {
+		t.Fatalf("exhausted generator returned %d", n)
 	}
 }
 
@@ -248,6 +282,98 @@ func TestEmitterBranchTargetsInsideFunction(t *testing.T) {
 	}
 }
 
+// statefulProg is an endless program with serializable per-thread state:
+// a counter mixed into the emitted addresses, so divergence after a
+// restore is visible in the stream.
+type statefulProg struct {
+	fn *Func
+	n  uint64
+}
+
+func (p *statefulProg) Init(e *Emitter) { e.Call(p.fn) }
+
+func (p *statefulProg) Step(e *Emitter) bool {
+	for i := 0; i < 8; i++ {
+		p.n++
+		addr := 0x2000_0000 + (p.n%512)*64
+		v := e.Load(addr, 8, NoVal, false)
+		e.ALUChain(int(e.Rand().Intn(4)), v)
+		e.Store(addr+8, 8, v, NoVal)
+	}
+	return true
+}
+
+func (p *statefulProg) SaveState(w *checkpoint.Writer) {
+	w.Tag("statefulProg")
+	w.U64(p.n)
+}
+
+func (p *statefulProg) LoadState(rd *checkpoint.Reader) {
+	rd.Expect("statefulProg")
+	p.n = rd.U64()
+}
+
+// TestStepGenSaveLoadResume is the live-points property at the trace
+// layer: draining K instructions, saving, and restoring onto a fresh
+// generator must continue the stream bit-identically to the original —
+// including mid-step residue (K deliberately not a multiple of the
+// per-step emission count).
+func TestStepGenSaveLoadResume(t *testing.T) {
+	l := NewCodeLayout(0x400000, 1<<20)
+	f := l.Func("f", 128)
+	cfg := EmitterConfig{Seed: 7, BranchEntropy: 0.1}
+	orig := NewStepGen(cfg, &statefulProg{fn: f})
+	if !orig.CanSave() {
+		t.Fatal("stateful program should be saveable")
+	}
+
+	// Drain an odd number of instructions so the emitter holds residue.
+	warm := make([]Inst, 777)
+	for got := 0; got < len(warm); {
+		got += orig.Next(warm[got:])
+	}
+
+	w := checkpoint.NewWriter()
+	orig.SaveState(w)
+	snap := w.Snapshot("trace-test")
+
+	l2 := NewCodeLayout(0x400000, 1<<20)
+	f2 := l2.Func("f", 128)
+	restored := NewStepGen(cfg, &statefulProg{fn: f2})
+	rd := snap.Reader()
+	restored.LoadState(rd)
+	if err := rd.Err(); err != nil {
+		t.Fatalf("load failed: %v", err)
+	}
+
+	// Save-load-save byte equality.
+	w2 := checkpoint.NewWriter()
+	restored.SaveState(w2)
+	if snap.Hash() != w2.Snapshot("trace-test").Hash() {
+		t.Fatal("save -> load -> save is not byte-identical")
+	}
+
+	a, b := make([]Inst, 4096), make([]Inst, 4096)
+	for got := 0; got < len(a); {
+		got += orig.Next(a[got:])
+	}
+	for got := 0; got < len(b); {
+		got += restored.Next(b[got:])
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("restored stream diverged at inst %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStepGenCanSaveFalseForPlainProg(t *testing.T) {
+	g := oneShot(EmitterConfig{Seed: 1}, func(e *Emitter) {})
+	if g.CanSave() {
+		t.Fatal("ProgFunc has no state; CanSave must be false")
+	}
+}
+
 // Property: dependence distances never reference the future and are
 // always representable.
 func TestQuickDependenceDistanceValid(t *testing.T) {
@@ -255,7 +381,7 @@ func TestQuickDependenceDistanceValid(t *testing.T) {
 	f := l.Func("f", 512)
 	check := func(seed int64, loads uint8) bool {
 		nloads := int(loads%32) + 1
-		g := Start(EmitterConfig{Seed: seed}, func(e *Emitter) {
+		g := oneShot(EmitterConfig{Seed: seed}, func(e *Emitter) {
 			e.InFunc(f, func() {
 				var v Val = NoVal
 				for i := 0; i < nloads; i++ {

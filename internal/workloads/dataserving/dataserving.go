@@ -13,12 +13,13 @@
 package dataserving
 
 import (
-	"math/rand"
 	"sync"
 	"sync/atomic"
 
 	"cloudsuite/internal/addrspace"
 	"cloudsuite/internal/oskern"
+	"cloudsuite/internal/rng"
+	"cloudsuite/internal/sim/checkpoint"
 	"cloudsuite/internal/trace"
 	"cloudsuite/internal/workloads"
 )
@@ -38,12 +39,12 @@ type Config struct {
 	FrameworkInsts int
 }
 
-// DefaultConfig returns the scaled-down default dataset: 64K x 1KB
-// records (64MB, >5x the 12MB LLC so the data working set exceeds any
+// DefaultConfig returns the scaled-down default dataset: 128K x 1KB
+// records (128MB, >10x the 12MB LLC so the data working set exceeds any
 // cache, as in the paper).
 func DefaultConfig() Config {
 	return Config{
-		Records: 64 << 10, RecordBytes: 1024, ReadFrac: 0.95, Runs: 4,
+		Records: 128 << 10, RecordBytes: 1024, ReadFrac: 0.95, Runs: 4,
 		FrameworkInsts: 5600,
 	}
 }
@@ -148,14 +149,87 @@ func (s *Store) DatasetBytes() uint64 {
 }
 
 // Start implements workloads.Workload.
-func (s *Store) Start(n int, seed int64) []*trace.ChanGen {
-	gens := make([]*trace.ChanGen, n)
+func (s *Store) Start(n int, seed int64) []*trace.StepGen {
+	gens := make([]*trace.StepGen, n)
 	for i := 0; i < n; i++ {
-		tid := i
 		cfg := workloads.EmitterConfigFor(seed+int64(i)*7919, 0.10)
-		gens[i] = trace.Start(cfg, func(e *trace.Emitter) { s.serve(e, tid, seed+int64(tid)) })
+		gens[i] = trace.NewStepGen(cfg, s.newThread(i, seed+int64(i)))
 	}
 	return gens
+}
+
+// SaveShared serializes the store's shared mutable state: the kernel and
+// heap cursors, the log/GC cursors, and the memtable. The skiplist is
+// dumped as its level-0 sequence with per-node heights; since every
+// higher level is a subsequence of level 0 in the same order, replaying
+// the dump through tail pointers rebuilds the exact structure.
+func (s *Store) SaveShared(w *checkpoint.Writer) {
+	w.Tag("dataserving.shared")
+	s.kern.SaveState(w)
+	s.heap.SaveState(w)
+	w.U64(s.logCur.Load())
+	w.U64(s.gcCur.Load())
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	w.U32(uint32(s.memLevel))
+	w.U32(uint32(s.memCount))
+	n := 0
+	for node := s.memHead.next[0]; node != nil; node = node.next[0] {
+		n++
+	}
+	w.U32(uint32(n))
+	for node := s.memHead.next[0]; node != nil; node = node.next[0] {
+		w.U64(node.key)
+		w.U64(node.addr)
+		w.U8(uint8(len(node.next)))
+	}
+}
+
+// LoadShared restores state written by SaveShared onto a freshly
+// constructed store.
+func (s *Store) LoadShared(rd *checkpoint.Reader) {
+	rd.Expect("dataserving.shared")
+	s.kern.LoadState(rd)
+	s.heap.LoadState(rd)
+	s.logCur.Store(rd.U64())
+	s.gcCur.Store(rd.U64())
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	memLevel := int(rd.U32())
+	memCount := int(rd.U32())
+	n := int(rd.U32())
+	if rd.Err() != nil {
+		return
+	}
+	if memLevel < 1 || memLevel > 16 || n > (4096+1) {
+		rd.Failf("dataserving: implausible memtable shape (level %d, %d nodes)", memLevel, n)
+		return
+	}
+	s.memHead.next = make([]*slNode, 16)
+	var tails [16]*slNode
+	for i := range tails {
+		tails[i] = s.memHead
+	}
+	for i := 0; i < n; i++ {
+		key, addr := rd.U64(), rd.U64()
+		h := int(rd.U8())
+		if rd.Err() != nil {
+			return
+		}
+		if h < 1 || h > 16 {
+			rd.Failf("dataserving: node height %d out of range", h)
+			return
+		}
+		nn := &slNode{key: key, addr: addr, next: make([]*slNode, h)}
+		for l := 0; l < h; l++ {
+			tails[l].next[l] = nn
+			tails[l] = nn
+		}
+	}
+	s.memLevel = memLevel
+	s.memCount = memCount
 }
 
 // probeStep is one recorded step of a read-side skiplist traversal.
@@ -184,42 +258,80 @@ type scratch struct {
 	linked []linkPair
 }
 
-// serve is one server thread's request loop.
-func (s *Store) serve(e *trace.Emitter, tid int, seed int64) {
-	rng := rand.New(rand.NewSource(seed))
-	var sc scratch
-	zipf := workloads.NewZipf(rng, 0.99, s.cfg.Records)
-	conn := s.kern.OpenConnOn(tid)
-	stack := workloads.StackOf(tid)
-	reqBuf := s.heap.AllocLines(4096)
-	respBuf := s.heap.AllocLines(4096)
-	reqs := 0
+// thread is one server thread's resumable request loop: each Step emits
+// one request. All mutable draw state lives in the rng; the kernel-side
+// cursors live in conn; everything else is construction-time layout.
+type thread struct {
+	s       *Store          //simlint:ok checkpointcov shared store, checkpointed via SaveShared
+	tid     int             //simlint:ok checkpointcov construction-time identity
+	rnd     *rng.Rand       // request mix + insert heights
+	zipf    *workloads.Zipf //simlint:ok checkpointcov immutable params; draw state lives in rnd
+	sc      scratch         //simlint:ok checkpointcov transient per-request recording space
+	conn    *oskern.Conn
+	stack   uint64 //simlint:ok checkpointcov construction-time address
+	reqBuf  uint64 //simlint:ok checkpointcov construction-time address
+	respBuf uint64 //simlint:ok checkpointcov construction-time address
+	reqs    uint64
+}
 
-	for {
-		key := zipf.Next() % s.cfg.Records
-		s.kern.Recv(e, conn, reqBuf, 128)
-
-		e.InFunc(s.fnDispatch, func() {
-			workloads.GenericWork(e, 260, stack, 3)
-		})
-		s.bank.Exec(e, key*0x9e3779b9+uint64(tid), 22, s.cfg.FrameworkInsts, stack, 3)
-
-		if rng.Float64() < s.cfg.ReadFrac {
-			s.read(e, key, respBuf, stack, &sc)
-			s.kern.Send(e, conn, respBuf, int(s.cfg.RecordBytes))
-		} else {
-			s.write(e, key, rng, stack, &sc)
-			s.kern.Send(e, conn, respBuf, 64)
-		}
-
-		reqs++
-		if reqs%48 == 0 {
-			s.gcQuantum(e)
-		}
-		if reqs%200 == 0 {
-			s.kern.SchedTick(e, tid)
-		}
+// newThread allocates one server thread's connection and buffers. Called
+// from Start in thread order, so the allocation sequence is deterministic
+// in (n, seed).
+func (s *Store) newThread(tid int, seed int64) *thread {
+	r := rng.New(seed)
+	return &thread{
+		s: s, tid: tid, rnd: r,
+		zipf:    workloads.NewZipf(r, 0.99, s.cfg.Records),
+		conn:    s.kern.OpenConnOn(tid),
+		stack:   workloads.StackOf(tid),
+		reqBuf:  s.heap.AllocLines(4096),
+		respBuf: s.heap.AllocLines(4096),
 	}
+}
+
+// Step emits one request.
+func (t *thread) Step(e *trace.Emitter) bool {
+	s := t.s
+	key := t.zipf.Next() % s.cfg.Records
+	s.kern.Recv(e, t.conn, t.reqBuf, 128)
+
+	e.InFunc(s.fnDispatch, func() {
+		workloads.GenericWork(e, 260, t.stack, 3)
+	})
+	s.bank.Exec(e, key*0x9e3779b9+uint64(t.tid), 22, s.cfg.FrameworkInsts, t.stack, 3)
+
+	if t.rnd.Float64() < s.cfg.ReadFrac {
+		s.read(e, key, t.respBuf, t.stack, &t.sc)
+		s.kern.Send(e, t.conn, t.respBuf, int(s.cfg.RecordBytes))
+	} else {
+		s.write(e, key, t.rnd, t.stack, &t.sc)
+		s.kern.Send(e, t.conn, t.respBuf, 64)
+	}
+
+	t.reqs++
+	if t.reqs%48 == 0 {
+		s.gcQuantum(e)
+	}
+	if t.reqs%200 == 0 {
+		s.kern.SchedTick(e, t.tid)
+	}
+	return true
+}
+
+// SaveState serializes the thread's resumable state.
+func (t *thread) SaveState(w *checkpoint.Writer) {
+	w.Tag("dataserving.thread")
+	t.rnd.SaveState(w)
+	t.conn.SaveState(w)
+	w.U64(t.reqs)
+}
+
+// LoadState restores state written by SaveState.
+func (t *thread) LoadState(rd *checkpoint.Reader) {
+	rd.Expect("dataserving.thread")
+	t.rnd.LoadState(rd)
+	t.conn.LoadState(rd)
+	t.reqs = rd.U64()
 }
 
 // read emits the full read path for key.
@@ -305,15 +417,21 @@ func (s *Store) read(e *trace.Emitter, key uint64, respBuf, stack uint64, sc *sc
 		hdr := e.Load(s.headers.At(key), 8, v, true)
 		e.ALUChain(2, hdr)
 	})
+	// First touch of the payload: column deserialization is a dependent
+	// walk — each column's length field determines where the next one
+	// starts — so the cold loads carry a dependence chain instead of
+	// exposing memory-level parallelism (the stall behaviour Figure 1
+	// attributes to the Java data stores).
 	e.InFunc(s.fnChecksum, func() {
 		rec := r.recs.At(rel)
 		var sum trace.Val = trace.NoVal
 		for off := uint64(0); off < s.cfg.RecordBytes; off += 64 {
-			ld := e.Load(rec+off, 64, trace.NoVal, false)
-			sum = e.FP(sum, ld)
+			sum = e.Load(rec+off, 64, sum, true)
+			sum = e.FP(sum, trace.NoVal)
 		}
 	})
-	// Serialization: framework-heavy response construction.
+	// Serialization: framework-heavy response construction (the record
+	// is cache-resident after the first-touch walk above).
 	e.InFunc(s.fnSerialize, func() {
 		for off := uint64(0); off < s.cfg.RecordBytes; off += 64 {
 			v := e.Load(r.recs.At(rel)+off, 64, trace.NoVal, false)
@@ -326,7 +444,7 @@ func (s *Store) read(e *trace.Emitter, key uint64, respBuf, stack uint64, sc *sc
 
 // write emits the write path: a skiplist insert plus a commit-log
 // append.
-func (s *Store) write(e *trace.Emitter, key uint64, rng *rand.Rand, stack uint64, sc *scratch) {
+func (s *Store) write(e *trace.Emitter, key uint64, rnd *rng.Rand, stack uint64, sc *scratch) {
 	// Real skiplist insert. The structural update happens under the
 	// lock while recording the touched addresses; the instruction
 	// stream is emitted afterwards so no Go lock is held across emitter
@@ -344,7 +462,7 @@ func (s *Store) write(e *trace.Emitter, key uint64, rng *rand.Rand, stack uint64
 		update[lvl] = node
 	}
 	h := 1
-	for h < 16 && rng.Intn(2) == 0 {
+	for h < 16 && rnd.Intn(2) == 0 {
 		h++
 	}
 	if h > s.memLevel {

@@ -11,7 +11,7 @@ func smallConfig() Config {
 	return Config{Records: 4096, RecordBytes: 1024, ReadFrac: 0.95, Runs: 4, FrameworkInsts: 800}
 }
 
-func drain(t *testing.T, g *trace.ChanGen, n int) []trace.Inst {
+func drain(t *testing.T, g *trace.StepGen, n int) []trace.Inst {
 	t.Helper()
 	out := make([]trace.Inst, n)
 	got := 0

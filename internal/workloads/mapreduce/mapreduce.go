@@ -14,10 +14,10 @@
 package mapreduce
 
 import (
-	"math/rand"
-
 	"cloudsuite/internal/addrspace"
 	"cloudsuite/internal/oskern"
+	"cloudsuite/internal/rng"
+	"cloudsuite/internal/sim/checkpoint"
 	"cloudsuite/internal/trace"
 	"cloudsuite/internal/workloads"
 )
@@ -87,41 +87,87 @@ func (j *Job) Class() workloads.Class { return workloads.ScaleOut }
 
 // Start implements workloads.Workload. Each thread is one map task with
 // private input buffer, weights table, and spill buffer.
-func (j *Job) Start(n int, seed int64) []*trace.ChanGen {
-	gens := make([]*trace.ChanGen, n)
+func (j *Job) Start(n int, seed int64) []*trace.StepGen {
+	gens := make([]*trace.StepGen, n)
 	for i := 0; i < n; i++ {
-		tid := i
 		cfg := workloads.EmitterConfigFor(seed+int64(i)*104729, 0.08)
-		gens[i] = trace.Start(cfg, func(e *trace.Emitter) { j.mapTask(e, tid, seed+int64(tid)) })
+		gens[i] = trace.NewStepGen(cfg, j.newTask(i, seed+int64(i)))
 	}
 	return gens
 }
 
-type task struct {
-	input   uint64 // streaming input buffer (split-sized)
-	weights addrspace.Array
-	counts  addrspace.Array
-	scores  addrspace.Array
-	spill   uint64
+// SaveShared serializes the job's shared mutable state. Map tasks share
+// nothing; only the kernel and heap cursors move.
+func (j *Job) SaveShared(w *checkpoint.Writer) {
+	w.Tag("mapreduce.shared")
+	j.kern.SaveState(w)
+	j.heap.SaveState(w)
 }
 
-func (j *Job) mapTask(e *trace.Emitter, tid int, seed int64) {
-	rng := rand.New(rand.NewSource(seed))
-	t := task{
+// LoadShared restores state written by SaveShared.
+func (j *Job) LoadShared(rd *checkpoint.Reader) {
+	rd.Expect("mapreduce.shared")
+	j.kern.LoadState(rd)
+	j.heap.LoadState(rd)
+}
+
+type task struct {
+	input   uint64          //simlint:ok checkpointcov streaming input buffer (split-sized), construction-time address
+	weights addrspace.Array //simlint:ok checkpointcov construction-time allocation geometry
+	counts  addrspace.Array //simlint:ok checkpointcov construction-time allocation geometry
+	scores  addrspace.Array //simlint:ok checkpointcov construction-time allocation geometry
+	spill   uint64          //simlint:ok checkpointcov construction-time address
+
+	j     *Job            //simlint:ok checkpointcov shared job, checkpointed via SaveShared
+	tid   int             //simlint:ok checkpointcov construction-time identity
+	rnd   *rng.Rand       // document lengths
+	zipf  *workloads.Zipf //simlint:ok checkpointcov immutable params; draw state lives in rnd
+	stack uint64          //simlint:ok checkpointcov construction-time address
+
+	off      uint64
+	spillPos uint64
+	docs     uint64
+}
+
+func (j *Job) newTask(tid int, seed int64) *task {
+	r := rng.New(seed)
+	return &task{
 		input:   j.heap.AllocLines(j.cfg.SplitBytes),
 		weights: addrspace.NewArray(j.heap, j.cfg.VocabTerms, 24),
 		counts:  addrspace.NewArray(j.heap, j.cfg.VocabTerms/4, 16),
 		scores:  addrspace.NewArray(j.heap, uint64(j.cfg.Labels), 8),
 		spill:   j.heap.AllocLines(4 << 20),
+		j:       j, tid: tid, rnd: r,
+		zipf:  workloads.NewZipf(r, 1.05, j.cfg.VocabTerms), // term frequencies
+		stack: workloads.StackOf(tid),
 	}
-	zipf := workloads.NewZipf(rng, 1.05, j.cfg.VocabTerms) // term frequencies
-	stack := workloads.StackOf(tid)
-	off := uint64(0)
-	spillPos := uint64(0)
-	docs := 0
+}
 
-	for {
-		docBytes := j.cfg.DocBytes/2 + rng.Intn(j.cfg.DocBytes)
+// SaveState serializes the task's resumable state.
+func (t *task) SaveState(w *checkpoint.Writer) {
+	w.Tag("mapreduce.task")
+	t.rnd.SaveState(w)
+	w.U64(t.off)
+	w.U64(t.spillPos)
+	w.U64(t.docs)
+}
+
+// LoadState restores state written by SaveState.
+func (t *task) LoadState(rd *checkpoint.Reader) {
+	rd.Expect("mapreduce.task")
+	t.rnd.LoadState(rd)
+	t.off = rd.U64()
+	t.spillPos = rd.U64()
+	t.docs = rd.U64()
+}
+
+// Step processes one document.
+func (t *task) Step(e *trace.Emitter) bool {
+	j, tid, rnd, zipf, stack := t.j, t.tid, t.rnd, t.zipf, t.stack
+	off, spillPos, docs := t.off, t.spillPos, int(t.docs)
+
+	{
+		docBytes := j.cfg.DocBytes/2 + rnd.Intn(j.cfg.DocBytes)
 		if off+uint64(docBytes) >= j.cfg.SplitBytes {
 			off = 0
 		}
@@ -200,4 +246,7 @@ func (j *Job) mapTask(e *trace.Emitter, tid int, seed int64) {
 			j.kern.SchedTick(e, tid)
 		}
 	}
+
+	t.off, t.spillPos, t.docs = off, spillPos, uint64(docs)
+	return true
 }

@@ -10,7 +10,7 @@ func smallConfig() Config {
 	return Config{SplitBytes: 1 << 20, VocabTerms: 4096, Labels: 16, DocBytes: 600, FrameworkInsts: 400}
 }
 
-func drain(t *testing.T, g *trace.ChanGen, n int) []trace.Inst {
+func drain(t *testing.T, g *trace.StepGen, n int) []trace.Inst {
 	t.Helper()
 	out := make([]trace.Inst, n)
 	got := 0

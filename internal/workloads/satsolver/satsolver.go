@@ -15,10 +15,10 @@
 package satsolver
 
 import (
-	"math/rand"
-
 	"cloudsuite/internal/addrspace"
 	"cloudsuite/internal/oskern"
+	"cloudsuite/internal/rng"
+	"cloudsuite/internal/sim/checkpoint"
 	"cloudsuite/internal/trace"
 	"cloudsuite/internal/workloads"
 )
@@ -84,14 +84,28 @@ func (s *Solver) Class() workloads.Class { return workloads.ScaleOut }
 
 // Start implements workloads.Workload: one independent solver instance
 // per thread, as in the paper's one-process-per-core setup.
-func (s *Solver) Start(n int, seed int64) []*trace.ChanGen {
-	gens := make([]*trace.ChanGen, n)
+func (s *Solver) Start(n int, seed int64) []*trace.StepGen {
+	gens := make([]*trace.StepGen, n)
 	for i := 0; i < n; i++ {
-		tid := i
 		cfg := workloads.EmitterConfigFor(seed+int64(i)*52711, 0.11)
-		gens[i] = trace.Start(cfg, func(e *trace.Emitter) { s.solve(e, tid, seed+int64(tid)) })
+		gens[i] = trace.NewStepGen(cfg, s.newThread(i, seed+int64(i)))
 	}
 	return gens
+}
+
+// SaveShared serializes the workload's shared mutable state. Instances
+// are fully independent; only the kernel and heap cursors move.
+func (s *Solver) SaveShared(w *checkpoint.Writer) {
+	w.Tag("satsolver.shared")
+	s.kern.SaveState(w)
+	s.heap.SaveState(w)
+}
+
+// LoadShared restores state written by SaveShared.
+func (s *Solver) LoadShared(rd *checkpoint.Reader) {
+	rd.Expect("satsolver.shared")
+	s.kern.LoadState(rd)
+	s.heap.LoadState(rd)
 }
 
 // instance is one thread's formula and solver state; Go slices hold the
@@ -113,7 +127,7 @@ type instance struct {
 	trailArr  addrspace.Array
 }
 
-func (s *Solver) newInstance(rng *rand.Rand) *instance {
+func (s *Solver) newInstance(r *rng.Rand) *instance {
 	n := s.cfg.Vars
 	m := int(float64(n) * s.cfg.ClauseRatio)
 	in := &instance{
@@ -126,8 +140,8 @@ func (s *Solver) newInstance(rng *rand.Rand) *instance {
 	for i := 0; i < m; i++ {
 		var c [3]int32
 		for k := 0; k < 3; k++ {
-			v := int32(rng.Intn(n))
-			c[k] = v<<1 | int32(rng.Intn(2))
+			v := int32(r.Intn(n))
+			c[k] = v<<1 | int32(r.Intn(2))
 		}
 		in.clauses[i] = c
 		// Watch the first two literals.
@@ -167,55 +181,39 @@ func (in *instance) assignLit(lit int32, lvl int32) {
 	in.trail = append(in.trail, lit)
 }
 
-// solve runs the DPLL loop forever, restarting as the paper's input
-// traces do.
-func (s *Solver) solve(e *trace.Emitter, tid int, seed int64) {
-	rng := rand.New(rand.NewSource(seed))
-	in := s.newInstance(rng)
-	stack := workloads.StackOf(tid)
-	e.Call(s.fnMain)
+// sthread is one thread's DPLL solver run as a resumable state machine:
+// each Step is one decision (plus its propagation and any conflict
+// handling) or one restart, mirroring the phases of the original
+// restart loop.
+type sthread struct {
+	s              *Solver //simlint:ok checkpointcov shared workload, checkpointed via SaveShared
+	tid            int     //simlint:ok checkpointcov construction-time identity
+	rnd            *rng.Rand
+	stack          uint64 //simlint:ok checkpointcov construction-time address
+	in             *instance
+	decisions      uint64
+	conflicts      uint64
+	restartPending bool
+}
 
-	decisions := uint64(0)
-	for { // restart loop
-		conflicts := 0
-		for conflicts < s.cfg.RestartConflicts {
-			// Symbolic-execution engine work between solver queries; the
-			// engine path varies per query (state interpretation).
-			decisions++
-			s.bank.Exec(e, decisions*2654435761+uint64(tid)*977, 8, s.cfg.FrameworkInsts, stack, 3)
-			if decisions%48 == 0 {
-				s.kern.SchedTick(e, tid)
-			}
+func (s *Solver) newThread(tid int, seed int64) *sthread {
+	r := rng.New(seed)
+	return &sthread{
+		s: s, tid: tid, rnd: r,
+		stack: workloads.StackOf(tid),
+		in:    s.newInstance(r),
+	}
+}
 
-			// Decide: sample candidate variables and their activities.
-			var pick int32 = -1
-			e.InFunc(s.fnDecide, func() {
-				var v trace.Val = trace.NoVal
-				for t := 0; t < 16; t++ {
-					cand := int32(rng.Intn(in.nVars))
-					a := e.Load(in.actArr.At(uint64(cand)), 8, trace.NoVal, false)
-					v = e.FP(v, a)
-					if in.assign[cand] == 0 && pick < 0 {
-						pick = cand
-					}
-					e.Branch(in.assign[cand] == 0, v)
-				}
-			})
-			if pick < 0 {
-				break // "SAT": restart with a fresh formula region
-			}
-			lvl := int32(len(in.trailLim) + 1)
-			in.trailLim = append(in.trailLim, len(in.trail))
-			lit := pick<<1 | int32(rng.Intn(2))
-			in.assignLit(lit, lvl)
-			e.Store(in.assignArr.At(uint64(pick)), 1, trace.NoVal, trace.NoVal)
-			e.Store(in.trailArr.At(uint64(len(in.trail)-1)%in.trailArr.Len), 4, trace.NoVal, trace.NoVal)
+// Init pushes the solver's main frame.
+func (t *sthread) Init(e *trace.Emitter) { e.Call(t.s.fnMain) }
 
-			if !s.propagate(e, in, lvl) {
-				conflicts++
-				s.backtrack(e, in)
-			}
-		}
+// Step advances the solver: a pending restart unwinds the trail,
+// otherwise one decision is made and propagated.
+func (t *sthread) Step(e *trace.Emitter) bool {
+	s, in, rnd, tid, stack := t.s, t.in, t.rnd, t.tid, t.stack
+
+	if t.restartPending {
 		e.InFunc(s.fnRestart, func() {
 			// Unwind everything and decay activities.
 			for len(in.trail) > 0 {
@@ -226,12 +224,146 @@ func (s *Solver) solve(e *trace.Emitter, tid int, seed int64) {
 			in.trailLim = in.trailLim[:0]
 			var v trace.Val = trace.NoVal
 			for i := 0; i < 64; i++ {
-				a := e.Load(in.actArr.At(uint64(rng.Intn(in.nVars))), 8, trace.NoVal, false)
+				a := e.Load(in.actArr.At(uint64(rnd.Intn(in.nVars))), 8, trace.NoVal, false)
 				v = e.FP(v, a)
-				e.Store(in.actArr.At(uint64(rng.Intn(in.nVars))), 8, v, trace.NoVal)
+				e.Store(in.actArr.At(uint64(rnd.Intn(in.nVars))), 8, v, trace.NoVal)
 			}
 		})
 		s.kern.SchedTick(e, tid)
+		t.restartPending = false
+		t.conflicts = 0
+		return true
+	}
+
+	// Symbolic-execution engine work between solver queries; the
+	// engine path varies per query (state interpretation).
+	t.decisions++
+	s.bank.Exec(e, t.decisions*2654435761+uint64(tid)*977, 8, s.cfg.FrameworkInsts, stack, 3)
+	if t.decisions%48 == 0 {
+		s.kern.SchedTick(e, tid)
+	}
+
+	// Decide: sample candidate variables and their activities.
+	var pick int32 = -1
+	e.InFunc(s.fnDecide, func() {
+		var v trace.Val = trace.NoVal
+		for k := 0; k < 16; k++ {
+			cand := int32(rnd.Intn(in.nVars))
+			a := e.Load(in.actArr.At(uint64(cand)), 8, trace.NoVal, false)
+			v = e.FP(v, a)
+			if in.assign[cand] == 0 && pick < 0 {
+				pick = cand
+			}
+			e.Branch(in.assign[cand] == 0, v)
+		}
+	})
+	if pick < 0 {
+		t.restartPending = true // "SAT": restart with fresh polarity hints
+		return true
+	}
+	lvl := int32(len(in.trailLim) + 1)
+	in.trailLim = append(in.trailLim, len(in.trail))
+	lit := pick<<1 | int32(rnd.Intn(2))
+	in.assignLit(lit, lvl)
+	e.Store(in.assignArr.At(uint64(pick)), 1, trace.NoVal, trace.NoVal)
+	e.Store(in.trailArr.At(uint64(len(in.trail)-1)%in.trailArr.Len), 4, trace.NoVal, trace.NoVal)
+
+	if !s.propagate(e, in, lvl) {
+		t.conflicts++
+		s.backtrack(e, in)
+	}
+	if t.conflicts >= uint64(s.cfg.RestartConflicts) {
+		t.restartPending = true
+	}
+	return true
+}
+
+// SaveState serializes the thread's resumable state, including the full
+// solver instance: watch-list mutations and clause literal swaps make
+// the formula itself run-time state.
+func (t *sthread) SaveState(w *checkpoint.Writer) {
+	w.Tag("satsolver.thread")
+	t.rnd.SaveState(w)
+	w.U64(t.decisions)
+	w.U64(t.conflicts)
+	w.Bool(t.restartPending)
+	in := t.in
+	w.U32(uint32(in.nVars))
+	w.U32(uint32(len(in.clauses)))
+	w.Struct(in.clauses)
+	for _, wl := range in.watches {
+		w.U32(uint32(len(wl)))
+		if len(wl) > 0 {
+			w.Struct(wl)
+		}
+	}
+	w.Struct(in.assign)
+	w.Struct(in.level)
+	w.U32(uint32(len(in.trail)))
+	if len(in.trail) > 0 {
+		w.Struct(in.trail)
+	}
+	w.U32(uint32(len(in.trailLim)))
+	for _, l := range in.trailLim {
+		w.I64(int64(l))
+	}
+}
+
+// LoadState restores state written by SaveState.
+func (t *sthread) LoadState(rd *checkpoint.Reader) {
+	rd.Expect("satsolver.thread")
+	t.rnd.LoadState(rd)
+	t.decisions = rd.U64()
+	t.conflicts = rd.U64()
+	t.restartPending = rd.Bool()
+	in := t.in
+	nVars := int(rd.U32())
+	m := int(rd.U32())
+	if rd.Err() != nil {
+		return
+	}
+	if nVars != in.nVars || m != len(in.clauses) {
+		rd.Failf("satsolver: snapshot formula %dv/%dc, instance %dv/%dc",
+			nVars, m, in.nVars, len(in.clauses))
+		return
+	}
+	rd.Struct(in.clauses)
+	for i := range in.watches {
+		n := int(rd.U32())
+		if rd.Err() != nil {
+			return
+		}
+		wl := in.watches[i][:0]
+		if cap(wl) < n {
+			wl = make([]int32, n)
+		} else {
+			wl = wl[:n]
+		}
+		if n > 0 {
+			rd.Struct(wl)
+		}
+		in.watches[i] = wl
+	}
+	rd.Struct(in.assign)
+	rd.Struct(in.level)
+	nt := int(rd.U32())
+	if rd.Err() != nil {
+		return
+	}
+	in.trail = in.trail[:0]
+	for i := 0; i < nt; i++ {
+		in.trail = append(in.trail, 0)
+	}
+	if nt > 0 {
+		rd.Struct(in.trail)
+	}
+	nl := int(rd.U32())
+	if rd.Err() != nil {
+		return
+	}
+	in.trailLim = in.trailLim[:0]
+	for i := 0; i < nl; i++ {
+		in.trailLim = append(in.trailLim, int(rd.I64()))
 	}
 }
 

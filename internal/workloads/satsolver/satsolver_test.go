@@ -1,7 +1,7 @@
 package satsolver
 
 import (
-	"math/rand"
+	"cloudsuite/internal/rng"
 	"testing"
 	"testing/quick"
 
@@ -12,7 +12,7 @@ func smallConfig() Config {
 	return Config{Vars: 400, ClauseRatio: 4.26, RestartConflicts: 50, FrameworkInsts: 300}
 }
 
-func drain(t *testing.T, g *trace.ChanGen, n int) []trace.Inst {
+func drain(t *testing.T, g *trace.StepGen, n int) []trace.Inst {
 	t.Helper()
 	out := make([]trace.Inst, n)
 	got := 0
@@ -52,8 +52,8 @@ func TestSolverEmitsForever(t *testing.T) {
 // clause is watched by exactly two slots across all watch lists.
 func TestWatchInvariant(t *testing.T) {
 	s := New(smallConfig())
-	rng := rand.New(rand.NewSource(5))
-	in := s.newInstance(rng)
+	r := rng.New(5)
+	in := s.newInstance(r)
 	counts := make(map[int32]int)
 	for _, wl := range in.watches {
 		for _, ci := range wl {
@@ -76,10 +76,10 @@ func TestPropagationSoundness(t *testing.T) {
 	s := New(Config{Vars: 200, ClauseRatio: 3.0, RestartConflicts: 10, FrameworkInsts: 100})
 	layout := trace.NewCodeLayout(0x400000, 1<<20)
 	main := layout.Func("m", 64)
-	g := trace.Start(trace.EmitterConfig{Seed: 1}, func(e *trace.Emitter) {
+	g := trace.NewStepGen(trace.EmitterConfig{Seed: 1}, trace.ProgFunc(func(e *trace.Emitter) bool {
 		e.Call(main)
-		rng := rand.New(rand.NewSource(3))
-		in := s.newInstance(rng)
+		r := rng.New(3)
+		in := s.newInstance(r)
 		for step := 0; step < 200; step++ {
 			var pick int32 = -1
 			for v := int32(0); v < int32(in.nVars); v++ {
@@ -123,7 +123,8 @@ func TestPropagationSoundness(t *testing.T) {
 				panic("watch discipline broken")
 			}
 		}
-	})
+		return false
+	}))
 	defer g.Close()
 	// Drain to completion; panics inside the goroutine would surface.
 	for {
@@ -138,10 +139,10 @@ func TestBacktrackRestoresAssignments(t *testing.T) {
 	s := New(smallConfig())
 	layout := trace.NewCodeLayout(0x400000, 1<<20)
 	main := layout.Func("m", 64)
-	g := trace.Start(trace.EmitterConfig{Seed: 1}, func(e *trace.Emitter) {
+	g := trace.NewStepGen(trace.EmitterConfig{Seed: 1}, trace.ProgFunc(func(e *trace.Emitter) bool {
 		e.Call(main)
-		rng := rand.New(rand.NewSource(4))
-		in := s.newInstance(rng)
+		r := rng.New(4)
+		in := s.newInstance(r)
 		before := len(in.trail)
 		lvl := int32(1)
 		in.trailLim = append(in.trailLim, len(in.trail))
@@ -156,7 +157,8 @@ func TestBacktrackRestoresAssignments(t *testing.T) {
 				panic("backtrack left assignments behind")
 			}
 		}
-	})
+		return false
+	}))
 	defer g.Close()
 	for {
 		out := make([]trace.Inst, 8192)
@@ -185,8 +187,8 @@ func TestQuickLiteralEncoding(t *testing.T) {
 
 func TestValueSemantics(t *testing.T) {
 	s := New(smallConfig())
-	rng := rand.New(rand.NewSource(8))
-	in := s.newInstance(rng)
+	r := rng.New(8)
+	in := s.newInstance(r)
 	in.assign[5] = 1 // var 5 = true
 	if in.value(5<<1) != 1 {
 		t.Error("positive literal of a true var must be satisfied")

@@ -17,11 +17,12 @@
 package streaming
 
 import (
-	"math/rand"
 	"sync/atomic"
 
 	"cloudsuite/internal/addrspace"
 	"cloudsuite/internal/oskern"
+	"cloudsuite/internal/rng"
+	"cloudsuite/internal/sim/checkpoint"
 	"cloudsuite/internal/trace"
 	"cloudsuite/internal/workloads"
 )
@@ -99,42 +100,123 @@ func (s *Server) Name() string { return "Media Streaming" }
 func (s *Server) Class() workloads.Class { return workloads.ScaleOut }
 
 // Start implements workloads.Workload.
-func (s *Server) Start(n int, seed int64) []*trace.ChanGen {
-	gens := make([]*trace.ChanGen, n)
+func (s *Server) Start(n int, seed int64) []*trace.StepGen {
+	gens := make([]*trace.StepGen, n)
 	for i := 0; i < n; i++ {
-		tid := i
 		cfg := workloads.EmitterConfigFor(seed+int64(i)*31337, 0.07)
-		gens[i] = trace.Start(cfg, func(e *trace.Emitter) { s.serve(e, tid, seed+int64(tid)) })
+		gens[i] = trace.NewStepGen(cfg, s.newThread(i, seed+int64(i)))
 	}
 	return gens
+}
+
+// SaveShared serializes the server's shared mutable state: the kernel
+// and heap cursors and the global session/packet sequence.
+func (s *Server) SaveShared(w *checkpoint.Writer) {
+	w.Tag("streaming.shared")
+	s.kern.SaveState(w)
+	s.heap.SaveState(w)
+	w.U64(s.sessSeq.Load())
+}
+
+// LoadShared restores state written by SaveShared.
+func (s *Server) LoadShared(rd *checkpoint.Reader) {
+	rd.Expect("streaming.shared")
+	s.kern.LoadState(rd)
+	s.heap.LoadState(rd)
+	s.sessSeq.Store(rd.U64())
 }
 
 type session struct {
 	file   int
 	offset uint64
-	state  uint64 // session struct address
+	state  uint64 //simlint:ok checkpointcov session struct address, construction-time allocation
 	conn   *oskern.Conn
 }
 
-func (s *Server) serve(e *trace.Emitter, tid int, seed int64) {
-	rng := rand.New(rand.NewSource(seed))
-	stack := workloads.StackOf(tid)
-	pktBuf := s.heap.AllocLines(16 << 10)
+// SaveState serializes the session's cursor through its media file.
+func (ss *session) SaveState(w *checkpoint.Writer) {
+	w.U32(uint32(ss.file))
+	w.U64(ss.offset)
+	ss.conn.SaveState(w)
+}
 
-	sessions := make([]session, s.cfg.ClientsPerThread)
-	for i := range sessions {
-		sessions[i] = session{
-			file:   rng.Intn(len(s.fileBase)),
-			offset: uint64(rng.Int63n(int64(s.fileSize[0]))) &^ 63,
+// LoadState restores state written by SaveState.
+func (ss *session) LoadState(rd *checkpoint.Reader) {
+	ss.file = int(rd.U32())
+	ss.offset = rd.U64()
+	ss.conn.LoadState(rd)
+}
+
+// sthread is one server thread round-robining over its client sessions;
+// each Step is one session tick.
+type sthread struct {
+	s        *Server   //simlint:ok checkpointcov shared server, checkpointed via SaveShared
+	tid      int       //simlint:ok checkpointcov construction-time identity
+	rnd      *rng.Rand // session placement + reseeks
+	stack    uint64    //simlint:ok checkpointcov construction-time address
+	pktBuf   uint64    //simlint:ok checkpointcov construction-time address
+	sessions []session
+	cur      int
+}
+
+func (s *Server) newThread(tid int, seed int64) *sthread {
+	r := rng.New(seed)
+	th := &sthread{
+		s: s, tid: tid, rnd: r,
+		stack:  workloads.StackOf(tid),
+		pktBuf: s.heap.AllocLines(16 << 10),
+	}
+	th.sessions = make([]session, s.cfg.ClientsPerThread)
+	for i := range th.sessions {
+		th.sessions[i] = session{
+			file:   r.Intn(len(s.fileBase)),
+			offset: uint64(r.Int63n(int64(s.fileSize[0]))) &^ 63,
 			state:  s.heap.AllocLines(512),
 			conn:   s.kern.OpenConnOn(tid),
 		}
 	}
+	return th
+}
 
-	cur := 0
-	for {
-		sess := &sessions[cur]
-		cur = (cur + 1) % len(sessions)
+// SaveState serializes the thread's resumable state.
+func (th *sthread) SaveState(w *checkpoint.Writer) {
+	w.Tag("streaming.thread")
+	th.rnd.SaveState(w)
+	w.U32(uint32(th.cur))
+	w.U32(uint32(len(th.sessions)))
+	for i := range th.sessions {
+		th.sessions[i].SaveState(w)
+	}
+}
+
+// LoadState restores state written by SaveState.
+func (th *sthread) LoadState(rd *checkpoint.Reader) {
+	rd.Expect("streaming.thread")
+	th.rnd.LoadState(rd)
+	th.cur = int(rd.U32())
+	n := int(rd.U32())
+	if rd.Err() != nil {
+		return
+	}
+	if n != len(th.sessions) {
+		rd.Failf("streaming: snapshot has %d sessions, thread has %d", n, len(th.sessions))
+		return
+	}
+	for i := range th.sessions {
+		th.sessions[i].LoadState(rd)
+	}
+}
+
+// Step emits one session tick.
+func (th *sthread) Step(e *trace.Emitter) bool {
+	s, tid, rnd := th.s, th.tid, th.rnd
+	stack, pktBuf := th.stack, th.pktBuf
+	sessions := th.sessions
+
+	{
+		sess := &sessions[th.cur]
+		cur := (th.cur + 1) % len(sessions)
+		th.cur = cur
 
 		e.InFunc(s.fnTick, func() {
 			st := e.Load(sess.state, 8, trace.NoVal, false)
@@ -149,9 +231,9 @@ func (s *Server) serve(e *trace.Emitter, tid int, seed int64) {
 			v := e.Load(sess.state+64, 8, trace.NoVal, false)
 			e.FPChain(6, v)
 		})
-		if rng.Intn(512) == 0 {
-			sess.file = rng.Intn(len(s.fileBase))
-			sess.offset = uint64(rng.Int63n(int64(s.fileSize[sess.file]))) &^ 63
+		if rnd.Intn(512) == 0 {
+			sess.file = rnd.Intn(len(s.fileBase))
+			sess.offset = uint64(rnd.Int63n(int64(s.fileSize[sess.file]))) &^ 63
 		}
 
 		// Packetise the next chunk: stream the media bytes (no reuse),
@@ -220,4 +302,5 @@ func (s *Server) serve(e *trace.Emitter, tid int, seed int64) {
 			s.kern.SchedTick(e, tid)
 		}
 	}
+	return true
 }

@@ -10,18 +10,23 @@
 // for the memory-bound group. The database workloads are built on a
 // real B+tree engine with lock-mediated sharing. Fidelity notes per
 // workload are in DESIGN.md.
+//
+// These proxies intentionally do not implement the checkpoint Stateful
+// interfaces: they exercise the engine's replay-flavor warm images
+// (v2-compatible fast-forward restore), keeping that fallback path
+// honest while the scale-out workloads use live-point (pure-load)
+// images.
 package traditional
 
 import (
-	"math/rand"
-
 	"cloudsuite/internal/addrspace"
 	"cloudsuite/internal/oskern"
+	"cloudsuite/internal/rng"
 	"cloudsuite/internal/trace"
 	"cloudsuite/internal/workloads"
 )
 
-// kernelWorkload adapts a per-thread emission loop to the Workload
+// kernelWorkload adapts per-thread step programs to the Workload
 // interface.
 type kernelWorkload struct {
 	name    string
@@ -30,7 +35,10 @@ type kernelWorkload struct {
 	// main, when set, is the top-level function frame the thread loop
 	// runs in (emissions between explicit InFunc calls belong to it).
 	main *trace.Func
-	run  func(e *trace.Emitter, tid int, seed int64)
+	// prog builds one thread's step program. Construction runs at Start
+	// time in thread order, so shared-heap allocation order is
+	// deterministic in (n, seed).
+	prog func(tid int, seed int64) trace.Program
 }
 
 // Name implements workloads.Workload.
@@ -39,18 +47,29 @@ func (k *kernelWorkload) Name() string { return k.name }
 // Class implements workloads.Workload.
 func (k *kernelWorkload) Class() workloads.Class { return k.class }
 
+// mainProg pushes the workload's top-level frame before the wrapped
+// program's first step.
+type mainProg struct {
+	main *trace.Func
+	p    trace.Program
+}
+
+// Init implements trace.Initer.
+func (m *mainProg) Init(e *trace.Emitter) {
+	if m.main != nil {
+		e.Call(m.main)
+	}
+}
+
+// Step implements trace.Program.
+func (m *mainProg) Step(e *trace.Emitter) bool { return m.p.Step(e) }
+
 // Start implements workloads.Workload.
-func (k *kernelWorkload) Start(n int, seed int64) []*trace.ChanGen {
-	gens := make([]*trace.ChanGen, n)
+func (k *kernelWorkload) Start(n int, seed int64) []*trace.StepGen {
+	gens := make([]*trace.StepGen, n)
 	for i := 0; i < n; i++ {
-		tid := i
 		cfg := workloads.EmitterConfigFor(seed+int64(i)*6151, k.entropy)
-		gens[i] = trace.Start(cfg, func(e *trace.Emitter) {
-			if k.main != nil {
-				e.Call(k.main)
-			}
-			k.run(e, tid, seed+int64(tid))
-		})
+		gens[i] = trace.NewStepGen(cfg, &mainProg{main: k.main, p: k.prog(i, seed+int64(i))})
 	}
 	return gens
 }
@@ -70,18 +89,21 @@ func NewSPECintBitops() workloads.Workload {
 	fnMain := code.Func("bitops_kernel", 900)
 	return &kernelWorkload{
 		name: "SPECint (bitops)", class: workloads.Desktop, entropy: 0.03,
-		run: func(e *trace.Emitter, tid int, seed int64) {
-			rng := rand.New(rand.NewSource(seed))
+		main: fnMain,
+		prog: func(tid int, seed int64) trace.Program {
+			r := rng.New(seed)
 			tables := addrspace.NewArray(heap, 4096, 8) // 32KB, L1-resident, per copy
-			e.Call(fnMain)
-			for {
+			return trace.ProgFunc(func(e *trace.Emitter) bool {
 				// Independent ALU bursts with occasional table lookups.
-				e.ALUIndep(24)
-				v := e.Load(tables.At(uint64(rng.Intn(4096))), 8, trace.NoVal, false)
-				e.ALU(v, trace.NoVal)
-				e.ALUIndep(12)
-				e.Branch(rng.Intn(8) == 0, v)
-			}
+				for it := 0; it < 64; it++ {
+					e.ALUIndep(24)
+					v := e.Load(tables.At(uint64(r.Intn(4096))), 8, trace.NoVal, false)
+					e.ALU(v, trace.NoVal)
+					e.ALUIndep(12)
+					e.Branch(r.Intn(8) == 0, v)
+				}
+				return true
+			})
 		},
 	}
 }
@@ -95,15 +117,15 @@ func NewSPECintCompile() workloads.Workload {
 	return &kernelWorkload{
 		name: "SPECint (compile)", class: workloads.Desktop, entropy: 0.10,
 		main: code.Func("compile_main", 300),
-		run: func(e *trace.Emitter, tid int, seed int64) {
-			rng := rand.New(rand.NewSource(seed))
+		prog: func(tid int, seed int64) trace.Program {
+			r := rng.New(seed)
 			ir := addrspace.NewArray(heap, 32<<10, 48) // 1.5MB of IR nodes per copy
 			stack := workloads.StackOf(tid)
 			unit := 0
-			for {
+			return trace.ProgFunc(func(e *trace.Emitter) bool {
 				bank.Exec(e, uint64(unit)*2654435761, 10, 3400, stack, 2)
 				// Walk a chain of IR nodes with short dependence chains.
-				idx := uint64(rng.Intn(32 << 10))
+				idx := uint64(r.Intn(32 << 10))
 				var v trace.Val = trace.NoVal
 				for n := 0; n < 16; n++ {
 					v = e.Load(ir.At(idx), 16, v, true)
@@ -112,7 +134,8 @@ func NewSPECintCompile() workloads.Workload {
 					e.Branch(n%5 == 0, v)
 				}
 				unit++
-			}
+				return true
+			})
 		},
 	}
 }
@@ -125,11 +148,12 @@ func NewSPECintDP() workloads.Workload {
 	fn := code.Func("viterbi_kernel", 600)
 	return &kernelWorkload{
 		name: "SPECint (dp)", class: workloads.Desktop, entropy: 0.02,
-		run: func(e *trace.Emitter, tid int, seed int64) {
+		main: fn,
+		prog: func(tid int, seed int64) trace.Program {
 			row := addrspace.NewArray(heap, 3, 256<<10) // per-copy DP rows
-			e.Call(fn)
 			r := 0
-			for {
+			return trace.ProgFunc(func(e *trace.Emitter) bool {
+				// One row sweep per step.
 				src, dst := row.At(uint64(r%3)), row.At(uint64((r+1)%3))
 				for off := uint64(0); off < 256<<10; off += 64 {
 					a := e.Load(src+off, 64, trace.NoVal, false)
@@ -139,7 +163,8 @@ func NewSPECintDP() workloads.Workload {
 					e.ALUIndep(4)
 				}
 				r++
-			}
+				return true
+			})
 		},
 	}
 }
@@ -156,16 +181,16 @@ func NewSPECintMCF() workloads.Workload {
 	const nNodes = 24 << 10
 	return &kernelWorkload{
 		name: "SPECint (mcf)", class: workloads.Desktop, entropy: 0.12,
-		run: func(e *trace.Emitter, tid int, seed int64) {
-			rng := rand.New(rand.NewSource(seed))
+		prog: func(tid int, seed int64) trace.Program {
+			r := rng.New(seed)
 			arcs := addrspace.NewArray(heap, nArcs, 64)
 			nodes := addrspace.NewArray(heap, nNodes, 64)
-			for {
+			return trace.ProgFunc(func(e *trace.Emitter) bool {
 				// Price-out pass: sequential over arcs, random node
 				// dereferences; arc iterations are independent (MLP).
 				e.InFunc(fnScan, func() {
 					for a := 0; a < 512; a++ {
-						arc := uint64(rng.Intn(nArcs))
+						arc := uint64(r.Intn(nArcs))
 						av := e.Load(arcs.At(arc), 64, trace.NoVal, false)
 						tail := e.Load(nodes.At((arc*2654435761)%nNodes), 8, av, true)
 						head := e.Load(nodes.At((arc*40503)%nNodes), 8, av, true)
@@ -175,7 +200,7 @@ func NewSPECintMCF() workloads.Workload {
 				})
 				e.InFunc(fnPivot, func() {
 					// Basis update: dependent walk up the spanning tree.
-					n := uint64(rng.Intn(nNodes))
+					n := uint64(r.Intn(nNodes))
 					var v trace.Val = trace.NoVal
 					for d := 0; d < 24; d++ {
 						v = e.Load(nodes.At(n), 8, v, true)
@@ -183,7 +208,8 @@ func NewSPECintMCF() workloads.Workload {
 						e.Store(nodes.At(n), 8, v, trace.NoVal)
 					}
 				})
-			}
+				return true
+			})
 		},
 	}
 }
@@ -197,21 +223,24 @@ func NewSPECintEvents() workloads.Workload {
 	const nObjs = 160 << 10 // ~7.5MB object graph per copy
 	return &kernelWorkload{
 		name: "SPECint (events)", class: workloads.Desktop, entropy: 0.15,
-		run: func(e *trace.Emitter, tid int, seed int64) {
-			rng := rand.New(rand.NewSource(seed))
+		main: fn,
+		prog: func(tid int, seed int64) trace.Program {
+			r := rng.New(seed)
 			objs := addrspace.NewArray(heap, nObjs, 48)
-			e.Call(fn)
-			cur := uint64(rng.Intn(nObjs))
+			cur := uint64(r.Intn(nObjs))
 			var v trace.Val = trace.NoVal
-			for {
-				// Pop event: heap root chase, then module graph walk.
-				v = e.Load(objs.At(cur), 16, v, true)
-				v = e.ALUChain(4, v)
-				cur = (cur*6364136223846793005 + 1442695040888963407) % nObjs
-				v = e.Load(objs.At(cur), 16, v, true)
-				e.Store(objs.At(cur), 8, v, trace.NoVal)
-				e.Branch(cur%3 == 0, v)
-			}
+			return trace.ProgFunc(func(e *trace.Emitter) bool {
+				for it := 0; it < 128; it++ {
+					// Pop event: heap root chase, then module graph walk.
+					v = e.Load(objs.At(cur), 16, v, true)
+					v = e.ALUChain(4, v)
+					cur = (cur*6364136223846793005 + 1442695040888963407) % nObjs
+					v = e.Load(objs.At(cur), 16, v, true)
+					e.Store(objs.At(cur), 8, v, trace.NoVal)
+					e.Branch(cur%3 == 0, v)
+				}
+				return true
+			})
 		},
 	}
 }
@@ -224,18 +253,21 @@ func NewSPECintStream() workloads.Workload {
 	code := trace.NewCodeLayout(addrspace.UserCodeBase, addrspace.UserCodeSize)
 	fn := code.Func("gate_sweep", 300)
 	const regBytes = 16 << 20
+	const chunk = 4096 * 64 // one step covers 4096 lines of the sweep
 	return &kernelWorkload{
 		name: "SPECint (stream)", class: workloads.Desktop, entropy: 0.01,
-		run: func(e *trace.Emitter, tid int, seed int64) {
+		main: fn,
+		prog: func(tid int, seed int64) trace.Program {
 			reg := heap.AllocLines(regBytes)
-			e.Call(fn)
-			for {
-				for off := uint64(0); off < regBytes; off += 64 {
-					v := e.Load(reg+off, 64, trace.NoVal, false)
+			off := uint64(0)
+			return trace.ProgFunc(func(e *trace.Emitter) bool {
+				for end := off + chunk; off < end; off += 64 {
+					v := e.Load(reg+off%regBytes, 64, trace.NoVal, false)
 					v = e.ALU(v, trace.NoVal)
-					e.Store(reg+off, 64, v, trace.NoVal)
+					e.Store(reg+off%regBytes, 64, v, trace.NoVal)
 				}
-			}
+				return true
+			})
 		},
 	}
 }
@@ -263,12 +295,12 @@ func NewPARSECBlackscholes() workloads.Workload {
 	opts := addrspace.NewArray(heap, 64<<10, 64) // 4MB of options
 	return &kernelWorkload{
 		name: "PARSEC (blackscholes)", class: workloads.Parallel, entropy: 0.01,
-		run: func(e *trace.Emitter, tid int, seed int64) {
-			e.Call(fn)
+		main: fn,
+		prog: func(tid int, seed int64) trace.Program {
 			// Each thread owns a contiguous slice of the options array
 			// (the benchmark's static partitioning: no write sharing).
 			base := uint64(tid) * (opts.Len / 8)
-			for {
+			return trace.ProgFunc(func(e *trace.Emitter) bool {
 				for i := uint64(0); i < 2048; i++ {
 					o := e.Load(opts.At((base+i)%opts.Len), 64, trace.NoVal, false)
 					// CNDF evaluation: a few dependent FP chains, but
@@ -279,7 +311,8 @@ func NewPARSECBlackscholes() workloads.Workload {
 					e.Store(opts.At((base+i)%opts.Len), 8, c, trace.NoVal)
 					e.ALUIndep(6)
 				}
-			}
+				return true
+			})
 		},
 	}
 }
@@ -293,10 +326,10 @@ func NewPARSECSwaptions() workloads.Workload {
 	state := addrspace.NewArray(heap, 4096, 64) // per-thread sim state slices
 	return &kernelWorkload{
 		name: "PARSEC (swaptions)", class: workloads.Parallel, entropy: 0.02,
-		run: func(e *trace.Emitter, tid int, seed int64) {
-			e.Call(fn)
+		main: fn,
+		prog: func(tid int, seed int64) trace.Program {
 			base := uint64(tid) * 512
-			for {
+			return trace.ProgFunc(func(e *trace.Emitter) bool {
 				var acc trace.Val = trace.NoVal
 				for s := uint64(0); s < 256; s++ {
 					v := e.Load(state.At((base+s)%state.Len), 64, trace.NoVal, false)
@@ -306,7 +339,8 @@ func NewPARSECSwaptions() workloads.Workload {
 					e.ALUIndep(4)
 				}
 				e.Store(state.At(base), 8, acc, trace.NoVal)
-			}
+				return true
+			})
 		},
 	}
 }
@@ -322,28 +356,31 @@ func NewPARSECCanneal() workloads.Workload {
 	elems := addrspace.NewArray(heap, nElems, 32)
 	return &kernelWorkload{
 		name: "PARSEC (canneal)", class: workloads.Parallel, entropy: 0.10,
-		run: func(e *trace.Emitter, tid int, seed int64) {
-			rng := rand.New(rand.NewSource(seed))
-			e.Call(fn)
-			for {
-				// Pick two random elements and their neighbours: a burst
-				// of independent loads, then the cost computation and a
-				// biased accept decision.
-				var cost trace.Val = trace.NoVal
-				for k := 0; k < 4; k++ {
-					v := e.Load(elems.At(uint64(rng.Intn(nElems))), 32, trace.NoVal, false)
-					cost = e.FP(cost, v)
+		main: fn,
+		prog: func(tid int, seed int64) trace.Program {
+			r := rng.New(seed)
+			return trace.ProgFunc(func(e *trace.Emitter) bool {
+				for it := 0; it < 32; it++ {
+					// Pick two random elements and their neighbours: a burst
+					// of independent loads, then the cost computation and a
+					// biased accept decision.
+					var cost trace.Val = trace.NoVal
+					for k := 0; k < 4; k++ {
+						v := e.Load(elems.At(uint64(r.Intn(nElems))), 32, trace.NoVal, false)
+						cost = e.FP(cost, v)
+					}
+					cost = e.FPChain(4, cost)
+					workloads.GenericWork(e, 120, elems.At(uint64(tid)*64), 2)
+					take := r.Float64() < 0.85
+					e.Branch(take, cost)
+					if take {
+						e.Store(elems.At(uint64(r.Intn(nElems))), 8, cost, trace.NoVal)
+						e.Store(elems.At(uint64(r.Intn(nElems))), 8, cost, trace.NoVal)
+					}
+					e.ALUIndep(8)
 				}
-				cost = e.FPChain(4, cost)
-				workloads.GenericWork(e, 120, elems.At(uint64(tid)*64), 2)
-				take := rng.Float64() < 0.85
-				e.Branch(take, cost)
-				if take {
-					e.Store(elems.At(uint64(rng.Intn(nElems))), 8, cost, trace.NoVal)
-					e.Store(elems.At(uint64(rng.Intn(nElems))), 8, cost, trace.NoVal)
-				}
-				e.ALUIndep(8)
-			}
+				return true
+			})
 		},
 	}
 }
@@ -356,23 +393,28 @@ func NewPARSECStreamcluster() workloads.Workload {
 	code := trace.NewCodeLayout(addrspace.UserCodeBase, addrspace.UserCodeSize)
 	fn := code.Func("pgain", 800)
 	const ptsBytes = 64 << 20
+	const chunk = 4096 * 64 // one step covers 4096 lines of the sweep
 	pts := heap.AllocLines(ptsBytes)
 	centers := addrspace.NewArray(heap, 128, 512)
 	return &kernelWorkload{
 		name: "PARSEC (streamcluster)", class: workloads.Parallel, entropy: 0.02,
-		run: func(e *trace.Emitter, tid int, seed int64) {
-			e.Call(fn)
+		main: fn,
+		prog: func(tid int, seed int64) trace.Program {
+			off := uint64(0)
 			c := uint64(0)
-			for {
-				for off := uint64(0); off < ptsBytes; off += 64 {
-					p := e.Load(pts+off, 64, trace.NoVal, false)
+			return trace.ProgFunc(func(e *trace.Emitter) bool {
+				for end := off + chunk; off < end; off += 64 {
+					p := e.Load(pts+off%ptsBytes, 64, trace.NoVal, false)
 					ctr := e.Load(centers.At(c%centers.Len), 64, trace.NoVal, false)
 					d := e.FP(p, ctr)
 					d = e.FPChain(2, d)
 					e.Branch(off%512 == 0, d)
 				}
-				c++
-			}
+				if off%ptsBytes == 0 {
+					c++
+				}
+				return true
+			})
 		},
 	}
 }
@@ -407,38 +449,39 @@ func NewSPECweb() workloads.Workload {
 	return &kernelWorkload{
 		name: "SPECweb09", class: workloads.Server, entropy: 0.08,
 		main: code.Func("event_loop_main", 300),
-		run: func(e *trace.Emitter, tid int, seed int64) {
-			rng := rand.New(rand.NewSource(seed))
+		prog: func(tid int, seed int64) trace.Program {
+			r := rng.New(seed)
 			conn := kern.OpenConnOn(tid)
 			stack := workloads.StackOf(tid)
 			buf := heap.AllocLines(128 << 10)
 			reqs := 0
-			for {
+			return trace.ProgFunc(func(e *trace.Emitter) bool {
 				kern.Poll(e, conn)
 				kern.Recv(e, conn, buf, 400)
 				e.InFunc(fnParse, func() { workloads.GenericWork(e, 260, stack, 3) })
-				if rng.Intn(10) < 5 {
+				if r.Intn(10) < 5 {
 					// Static file: read through the page cache and send.
-					size := 1<<10 + rng.Intn(7<<10)
-					bank.Exec(e, rng.Uint64(), 6, 1200, stack, 3)
-					kern.FileRead(e, uint64(rng.Intn(2048)), uint64(rng.Intn(1<<20)), buf, size)
+					size := 1<<10 + r.Intn(7<<10)
+					bank.Exec(e, r.Uint64(), 6, 1200, stack, 3)
+					kern.FileRead(e, uint64(r.Intn(2048)), uint64(r.Intn(1<<20)), buf, size)
 					kern.Send(e, conn, buf, size)
 				} else {
 					// Small dynamic script touching the session.
 					e.InFunc(fnBank, func() {
-						s := sessions.At(uint64(rng.Intn(8 << 10)))
+						s := sessions.At(uint64(r.Intn(8 << 10)))
 						v := e.Load(s, 16, trace.NoVal, true)
 						workloads.GenericWork(e, 900, s, 2)
 						e.Store(s+64, 16, v, trace.NoVal)
 					})
-					bank.Exec(e, rng.Uint64(), 10, 1600, stack, 3)
+					bank.Exec(e, r.Uint64(), 10, 1600, stack, 3)
 					kern.Send(e, conn, buf, 8<<10)
 				}
 				reqs++
 				if reqs%64 == 0 {
 					kern.SchedTick(e, tid)
 				}
-			}
+				return true
+			})
 		},
 	}
 }
@@ -484,14 +527,14 @@ func newDBEngine(heap *addrspace.Heap, code *trace.CodeLayout, rows uint64, rowB
 
 // acquire emits a lock acquisition on a shared lock word, occasionally
 // escalating into the kernel futex path (contention).
-func (d *dbEngine) acquire(e *trace.Emitter, lockIdx uint64, rng *rand.Rand, contention float64) trace.Val {
+func (d *dbEngine) acquire(e *trace.Emitter, lockIdx uint64, r *rng.Rand, contention float64) trace.Val {
 	var v trace.Val
 	e.InFunc(d.fnLock, func() {
 		addr := d.locks.At(lockIdx % d.locks.Len)
 		v = e.Load(addr, 8, trace.NoVal, false)
 		e.Store(addr, 8, v, trace.NoVal) // CAS
 		e.ALUChain(4, v)
-		if rng.Float64() < contention {
+		if r.Float64() < contention {
 			d.kern.Futex(e, addr)
 		}
 	})
@@ -511,35 +554,35 @@ func NewTPCC() workloads.Workload {
 	return &kernelWorkload{
 		name: "TPC-C", class: workloads.Server, entropy: 0.10,
 		main: code.Func("worker_loop", 400),
-		run: func(e *trace.Emitter, tid int, seed int64) {
-			rng := rand.New(rand.NewSource(seed))
+		prog: func(tid int, seed int64) trace.Program {
+			r := rng.New(seed)
 			conn := d.kern.OpenConnOn(tid)
 			stack := workloads.StackOf(tid)
 			buf := heap.AllocLines(8 << 10)
 			tx := 0
-			for {
+			return trace.ProgFunc(func(e *trace.Emitter) bool {
 				d.kern.Recv(e, conn, buf, 256)
 				e.InFunc(d.fnParse, func() { workloads.GenericWork(e, 420, stack, 2) })
 				d.bank.Exec(e, uint64(tx)*2654435761+uint64(tid), 26, 5200, stack, 2)
 
 				// New-order: lock the district (hot, contended), probe
 				// customer, then a handful of items with stock updates.
-				dist := uint64(rng.Intn(64))
-				lv := d.acquire(e, dist, rng, 0.45)
+				dist := uint64(r.Intn(64))
+				lv := d.acquire(e, dist, r, 0.45)
 				dv := e.Load(d.districts.At(dist), 64, lv, true)
 				e.Store(d.districts.At(dist), 8, dv, trace.NoVal) // next-o-id++
 				ov := e.Load(d.hotMeta.At(dist%192), 8, dv, false)
 				e.Store(d.hotMeta.At(dist%192), 8, ov, trace.NoVal)
 
-				rowAddrC, cv := d.customers.probe(e, uint64(rng.Int63()), dv)
+				rowAddrC, cv := d.customers.probe(e, uint64(r.Int63()), dv)
 				cv = d.customers.readRow(e, rowAddrC, 192, cv)
-				items := 4 + rng.Intn(5)
+				items := 4 + r.Intn(5)
 				v := cv
 				for i := 0; i < items; i++ {
 					var rowAddr uint64
-					rowAddr, v = d.items.probe(e, uint64(rng.Int63()), v)
+					rowAddr, v = d.items.probe(e, uint64(r.Int63()), v)
 					v = d.items.readRow(e, rowAddr, 64, v)
-					rowAddr, v = d.stock.probe(e, uint64(rng.Int63()), v)
+					rowAddr, v = d.stock.probe(e, uint64(r.Int63()), v)
 					d.stock.writeRow(e, rowAddr, 64, v)
 				}
 				// WAL append and commit.
@@ -555,7 +598,8 @@ func NewTPCC() workloads.Workload {
 				if tx%80 == 0 {
 					d.kern.SchedTick(e, tid)
 				}
-			}
+				return true
+			})
 		},
 	}
 }
@@ -571,38 +615,38 @@ func NewTPCE() workloads.Workload {
 	return &kernelWorkload{
 		name: "TPC-E", class: workloads.Server, entropy: 0.08,
 		main: code.Func("worker_loop", 400),
-		run: func(e *trace.Emitter, tid int, seed int64) {
-			rng := rand.New(rand.NewSource(seed))
+		prog: func(tid int, seed int64) trace.Program {
+			r := rng.New(seed)
 			conn := d.kern.OpenConnOn(tid)
 			stack := workloads.StackOf(tid)
 			buf := heap.AllocLines(8 << 10)
 			tx := 0
-			for {
+			return trace.ProgFunc(func(e *trace.Emitter) bool {
 				d.kern.Recv(e, conn, buf, 384)
 				e.InFunc(d.fnParse, func() { workloads.GenericWork(e, 600, stack, 2) })
 				e.InFunc(d.fnPlan, func() { workloads.GenericWork(e, 700, stack, 2) })
 				d.bank.Exec(e, uint64(tx)*40503+uint64(tid), 26, 3600, stack, 2)
 
-				write := rng.Intn(10) < 2
+				write := r.Intn(10) < 2
 				if write {
-					d.acquire(e, uint64(rng.Intn(512)), rng, 0.10)
+					d.acquire(e, uint64(r.Intn(512)), r, 0.10)
 				}
 				// LAST_TRADE-style hot table: every transaction reads the
 				// current quotes; the market-feed side updates them. This
 				// is the actively-shared structure behind TPC-E's
 				// read-write sharing (Section 4.4).
 				for i := 0; i < 3; i++ {
-					q := e.Load(d.hotMeta.At(uint64(rng.Intn(96))), 8, trace.NoVal, false)
+					q := e.Load(d.hotMeta.At(uint64(r.Intn(96))), 8, trace.NoVal, false)
 					e.ALUChain(3, q)
-					if rng.Intn(2) == 0 {
-						e.Store(d.hotMeta.At(uint64(rng.Intn(96))), 8, q, trace.NoVal)
+					if r.Intn(2) == 0 {
+						e.Store(d.hotMeta.At(uint64(r.Intn(96))), 8, q, trace.NoVal)
 					}
 				}
-				probes := 6 + rng.Intn(6)
+				probes := 6 + r.Intn(6)
 				var v trace.Val = trace.NoVal
 				for i := 0; i < probes; i++ {
 					var rowAddr uint64
-					rowAddr, v = d.stock.probe(e, uint64(rng.Int63()), v)
+					rowAddr, v = d.stock.probe(e, uint64(r.Int63()), v)
 					v = d.stock.readRow(e, rowAddr, 256, v)
 					// Financial computation between probes (FP-heavy).
 					v = e.FPChain(6, v)
@@ -617,7 +661,8 @@ func NewTPCE() workloads.Workload {
 				if tx%80 == 0 {
 					d.kern.SchedTick(e, tid)
 				}
-			}
+				return true
+			})
 		},
 	}
 }
@@ -633,28 +678,28 @@ func NewWebBackend() workloads.Workload {
 	return &kernelWorkload{
 		name: "Web Backend", class: workloads.Server, entropy: 0.09,
 		main: code.Func("worker_loop", 400),
-		run: func(e *trace.Emitter, tid int, seed int64) {
-			rng := rand.New(rand.NewSource(seed))
+		prog: func(tid int, seed int64) trace.Program {
+			r := rng.New(seed)
 			conn := d.kern.OpenConnOn(tid)
 			stack := workloads.StackOf(tid)
 			buf := heap.AllocLines(8 << 10)
 			q := 0
-			for {
+			return trace.ProgFunc(func(e *trace.Emitter) bool {
 				d.kern.Recv(e, conn, buf, 256)
 				e.InFunc(d.fnParse, func() { workloads.GenericWork(e, 500, stack, 2) })
 				d.bank.Exec(e, uint64(q)*69621+uint64(tid), 18, 2200, stack, 2)
 
 				// InnoDB-style shared metadata: auto-increment counters and
 				// table statistics touched on every query.
-				mv := e.Load(d.hotMeta.At(uint64(rng.Intn(32))), 8, trace.NoVal, false)
-				if rng.Intn(4) == 0 {
-					e.Store(d.hotMeta.At(uint64(rng.Intn(32))), 8, mv, trace.NoVal)
+				mv := e.Load(d.hotMeta.At(uint64(r.Intn(32))), 8, trace.NoVal, false)
+				if r.Intn(4) == 0 {
+					e.Store(d.hotMeta.At(uint64(r.Intn(32))), 8, mv, trace.NoVal)
 				}
-				switch rng.Intn(10) {
+				switch r.Intn(10) {
 				case 0, 1: // write: update a row under lock, bump counters
-					d.acquire(e, uint64(rng.Intn(512)), rng, 0.15)
-					e.Store(d.hotMeta.At(uint64(rng.Intn(64))), 8, mv, trace.NoVal)
-					rowAddr, v := d.customers.probe(e, uint64(rng.Int63()), trace.NoVal)
+					d.acquire(e, uint64(r.Intn(512)), r, 0.15)
+					e.Store(d.hotMeta.At(uint64(r.Intn(64))), 8, mv, trace.NoVal)
+					rowAddr, v := d.customers.probe(e, uint64(r.Int63()), trace.NoVal)
 					d.customers.writeRow(e, rowAddr, 192, v)
 					e.InFunc(d.fnLog, func() {
 						pos := uint64(q*256+tid*64) % (16 << 20)
@@ -663,12 +708,12 @@ func NewWebBackend() workloads.Workload {
 						}
 					})
 				case 2: // short range scan
-					rowAddr, v := d.stock.probe(e, uint64(rng.Int63()), trace.NoVal)
-					for r := uint64(0); r < 24; r++ {
-						v = d.stock.readRow(e, rowAddr+(r*160)%(448<<10*160), 160, v)
+					rowAddr, v := d.stock.probe(e, uint64(r.Int63()), trace.NoVal)
+					for sr := uint64(0); sr < 24; sr++ {
+						v = d.stock.readRow(e, rowAddr+(sr*160)%(448<<10*160), 160, v)
 					}
 				default: // point query
-					rowAddr, v := d.customers.probe(e, uint64(rng.Int63()), trace.NoVal)
+					rowAddr, v := d.customers.probe(e, uint64(r.Int63()), trace.NoVal)
 					d.customers.readRow(e, rowAddr, 640, v)
 				}
 				e.InFunc(d.fnCommit, func() { workloads.GenericWork(e, 180, stack, 2) })
@@ -677,7 +722,8 @@ func NewWebBackend() workloads.Workload {
 				if q%80 == 0 {
 					d.kern.SchedTick(e, tid)
 				}
-			}
+				return true
+			})
 		},
 	}
 }

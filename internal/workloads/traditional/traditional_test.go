@@ -8,7 +8,7 @@ import (
 	"cloudsuite/internal/workloads"
 )
 
-func drain(t *testing.T, g *trace.ChanGen, n int) []trace.Inst {
+func drain(t *testing.T, g *trace.StepGen, n int) []trace.Inst {
 	t.Helper()
 	out := make([]trace.Inst, n)
 	got := 0
@@ -145,10 +145,11 @@ func collectTree(t *testing.T, body func(e *trace.Emitter, tr *bptree)) []trace.
 	layout := trace.NewCodeLayout(0x40_0000, 1<<20)
 	main := layout.Func("m", 64)
 	tr := newBPTree(heap, 100_000, 128)
-	g := trace.Start(trace.EmitterConfig{Seed: 2}, func(e *trace.Emitter) {
+	g := trace.NewStepGen(trace.EmitterConfig{Seed: 2}, trace.ProgFunc(func(e *trace.Emitter) bool {
 		e.Call(main)
 		body(e, tr)
-	})
+		return false
+	}))
 	defer g.Close()
 	out := make([]trace.Inst, 1<<16)
 	n := 0
@@ -199,7 +200,7 @@ func TestBPTreeRowsDistinct(t *testing.T) {
 	seen := map[uint64]bool{}
 	layout := trace.NewCodeLayout(0x40_0000, 1<<20)
 	main := layout.Func("m", 64)
-	g := trace.Start(trace.EmitterConfig{Seed: 2}, func(e *trace.Emitter) {
+	g := trace.NewStepGen(trace.EmitterConfig{Seed: 2}, trace.ProgFunc(func(e *trace.Emitter) bool {
 		e.Call(main)
 		for k := uint64(0); k < 1000; k++ {
 			addr, _ := tr.probe(e, k, trace.NoVal)
@@ -208,7 +209,8 @@ func TestBPTreeRowsDistinct(t *testing.T) {
 			}
 			seen[addr] = true
 		}
-	})
+		return false
+	}))
 	defer g.Close()
 	out := make([]trace.Inst, 8192)
 	for g.Next(out) != 0 {

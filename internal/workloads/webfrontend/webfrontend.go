@@ -16,10 +16,10 @@
 package webfrontend
 
 import (
-	"math/rand"
-
 	"cloudsuite/internal/addrspace"
 	"cloudsuite/internal/oskern"
+	"cloudsuite/internal/rng"
+	"cloudsuite/internal/sim/checkpoint"
 	"cloudsuite/internal/trace"
 	"cloudsuite/internal/workloads"
 )
@@ -94,15 +94,15 @@ func New(cfg Config) *Frontend {
 		f.handlers[i] = code.Func("zend_handler", 120+(i*37)%360)
 	}
 
-	rng := rand.New(rand.NewSource(42))
+	r := rng.New(42)
 	f.scripts = make([][]opcode, cfg.Scripts)
 	f.scriptArr = make([]addrspace.Array, cfg.Scripts)
 	for sIdx := range f.scripts {
-		n := cfg.OpcodesPerScript/2 + rng.Intn(cfg.OpcodesPerScript)
+		n := cfg.OpcodesPerScript/2 + r.Intn(cfg.OpcodesPerScript)
 		ops := make([]opcode, n)
 		for i := range ops {
 			k := uint8(0)
-			switch r := rng.Intn(1000); {
+			switch r := r.Intn(1000); {
 			case r < 580:
 				k = 0 // value ops
 			case r < 800:
@@ -114,7 +114,7 @@ func New(cfg Config) *Frontend {
 			default:
 				k = 4 // script-level branch
 			}
-			ops[i] = opcode{handler: rng.Intn(cfg.Handlers), kind: k, arg: rng.Uint64()}
+			ops[i] = opcode{handler: r.Intn(cfg.Handlers), kind: k, arg: r.Uint64()}
 		}
 		f.scripts[sIdx] = ops
 		f.scriptArr[sIdx] = addrspace.NewArray(f.heap, uint64(n), 16)
@@ -132,29 +132,84 @@ func (f *Frontend) Name() string { return "Web Frontend" }
 func (f *Frontend) Class() workloads.Class { return workloads.ScaleOut }
 
 // Start implements workloads.Workload.
-func (f *Frontend) Start(n int, seed int64) []*trace.ChanGen {
-	gens := make([]*trace.ChanGen, n)
+func (f *Frontend) Start(n int, seed int64) []*trace.StepGen {
+	gens := make([]*trace.StepGen, n)
 	for i := 0; i < n; i++ {
-		tid := i
 		cfg := workloads.EmitterConfigFor(seed+int64(i)*7561, 0.08)
-		gens[i] = trace.Start(cfg, func(e *trace.Emitter) { f.serve(e, tid, seed+int64(tid)) })
+		gens[i] = trace.NewStepGen(cfg, f.newThread(i, seed+int64(i)))
 	}
 	return gens
 }
 
-func (f *Frontend) serve(e *trace.Emitter, tid int, seed int64) {
-	rng := rand.New(rand.NewSource(seed))
-	conn := f.kern.OpenConnOn(tid)
-	backend := f.kern.OpenConnOn(tid)
-	stack := workloads.StackOf(tid)
-	reqBuf := f.heap.AllocLines(8 << 10)
-	respBuf := f.heap.AllocLines(64 << 10)
-	zipfScript := workloads.NewZipf(rng, 1.1, uint64(f.cfg.Scripts))
-	// Most zvals of a request live in a hot per-request arena; only a
-	// fraction reach into the cold shared value heap.
-	hotPool := f.heap.AllocLines(64 << 10)
+// SaveShared serializes the frontend's shared mutable state. Requests
+// are stateless; only the kernel and heap cursors move at run time.
+func (f *Frontend) SaveShared(w *checkpoint.Writer) {
+	w.Tag("webfrontend.shared")
+	f.kern.SaveState(w)
+	f.heap.SaveState(w)
+}
 
-	for {
+// LoadShared restores state written by SaveShared.
+func (f *Frontend) LoadShared(rd *checkpoint.Reader) {
+	rd.Expect("webfrontend.shared")
+	f.kern.LoadState(rd)
+	f.heap.LoadState(rd)
+}
+
+// wthread is one worker thread; each Step serves one request.
+type wthread struct {
+	f          *Frontend //simlint:ok checkpointcov shared frontend, checkpointed via SaveShared
+	tid        int       //simlint:ok checkpointcov construction-time identity
+	rnd        *rng.Rand // request selectors + session draws
+	conn       *oskern.Conn
+	backend    *oskern.Conn
+	stack      uint64          //simlint:ok checkpointcov construction-time address
+	reqBuf     uint64          //simlint:ok checkpointcov construction-time address
+	respBuf    uint64          //simlint:ok checkpointcov construction-time address
+	hotPool    uint64          //simlint:ok checkpointcov construction-time address
+	zipfScript *workloads.Zipf //simlint:ok checkpointcov immutable params; draw state lives in rnd
+}
+
+func (f *Frontend) newThread(tid int, seed int64) *wthread {
+	r := rng.New(seed)
+	return &wthread{
+		f: f, tid: tid, rnd: r,
+		conn:    f.kern.OpenConnOn(tid),
+		backend: f.kern.OpenConnOn(tid),
+		stack:   workloads.StackOf(tid),
+		reqBuf:  f.heap.AllocLines(8 << 10),
+		respBuf: f.heap.AllocLines(64 << 10),
+		// Most zvals of a request live in a hot per-request arena; only a
+		// fraction reach into the cold shared value heap.
+		hotPool:    f.heap.AllocLines(64 << 10),
+		zipfScript: workloads.NewZipf(r, 1.1, uint64(f.cfg.Scripts)),
+	}
+}
+
+// SaveState serializes the thread's resumable state.
+func (t *wthread) SaveState(w *checkpoint.Writer) {
+	w.Tag("webfrontend.thread")
+	t.rnd.SaveState(w)
+	t.conn.SaveState(w)
+	t.backend.SaveState(w)
+}
+
+// LoadState restores state written by SaveState.
+func (t *wthread) LoadState(rd *checkpoint.Reader) {
+	rd.Expect("webfrontend.thread")
+	t.rnd.LoadState(rd)
+	t.conn.LoadState(rd)
+	t.backend.LoadState(rd)
+}
+
+// Step serves one request.
+func (t *wthread) Step(e *trace.Emitter) bool {
+	f, rnd := t.f, t.rnd
+	conn, backend := t.conn, t.backend
+	stack, reqBuf, respBuf, hotPool := t.stack, t.reqBuf, t.respBuf, t.hotPool
+	zipfScript := t.zipfScript
+
+	{
 		f.kern.Poll(e, conn)
 		f.kern.Recv(e, conn, reqBuf, 512)
 		e.InFunc(f.fnAccept, func() { workloads.GenericWork(e, 180, stack, 3) })
@@ -164,11 +219,11 @@ func (f *Frontend) serve(e *trace.Emitter, tid int, seed int64) {
 				e.ALUChain(3, ld)
 			}
 		})
-		f.nginxBank.Exec(e, rng.Uint64(), 14, 1400, stack, 3)
+		f.nginxBank.Exec(e, rnd.Uint64(), 14, 1400, stack, 3)
 
 		sIdx := int(zipfScript.Next()) % f.cfg.Scripts
-		session := f.sessions.At(uint64(rng.Int63n(int64(f.cfg.Sessions))))
-		f.interpret(e, sIdx, session, hotPool, respBuf, backend, rng, stack)
+		session := f.sessions.At(uint64(rnd.Int63n(int64(f.cfg.Sessions))))
+		f.interpret(e, sIdx, session, hotPool, respBuf, backend, stack)
 
 		e.InFunc(f.fnRespond, func() {
 			var v trace.Val = trace.NoVal
@@ -180,10 +235,11 @@ func (f *Frontend) serve(e *trace.Emitter, tid int, seed int64) {
 		})
 		f.kern.Send(e, conn, respBuf, 12<<10)
 	}
+	return true
 }
 
 // interpret executes one page script through the opcode dispatch loop.
-func (f *Frontend) interpret(e *trace.Emitter, sIdx int, session, hotPool, respBuf uint64, backend *oskern.Conn, rng *rand.Rand, stack uint64) {
+func (f *Frontend) interpret(e *trace.Emitter, sIdx int, session, hotPool, respBuf uint64, backend *oskern.Conn, stack uint64) {
 	script := f.scripts[sIdx]
 	arr := f.scriptArr[sIdx]
 	heapMask := f.cfg.ValueHeapBytes - 1
@@ -247,5 +303,4 @@ func (f *Frontend) interpret(e *trace.Emitter, sIdx int, session, hotPool, respB
 		pc++
 	}
 	e.InFunc(f.fnTmpl, func() { workloads.GenericWork(e, 500, stack, 3) })
-	_ = rng
 }

@@ -16,11 +16,12 @@
 package websearch
 
 import (
-	"math/rand"
 	"sync/atomic"
 
 	"cloudsuite/internal/addrspace"
 	"cloudsuite/internal/oskern"
+	"cloudsuite/internal/rng"
+	"cloudsuite/internal/sim/checkpoint"
 	"cloudsuite/internal/trace"
 	"cloudsuite/internal/workloads"
 )
@@ -103,14 +104,14 @@ func New(cfg Config) *Node {
 	// packed consecutively like a real segment file.
 	n.postOff = make([]uint64, cfg.Terms)
 	n.postLen = make([]uint64, cfg.Terms)
-	rng := rand.New(rand.NewSource(7))
+	r := rng.New(7)
 	off := uint64(0)
 	budget := cfg.PostingsBytes
 	for t := uint64(0); t < cfg.Terms; t++ {
 		// Rank-based length: list length ~ C / rank.
 		l := cfg.PostingsBytes / 24 / (t + 16)
 		if l < 8 {
-			l = 8 + uint64(rng.Intn(8))
+			l = 8 + uint64(r.Intn(8))
 		}
 		bytes := l * 4
 		if bytes > budget {
@@ -141,32 +142,89 @@ func (n *Node) Name() string { return "Web Search" }
 func (n *Node) Class() workloads.Class { return workloads.ScaleOut }
 
 // Start implements workloads.Workload.
-func (n *Node) Start(threads int, seed int64) []*trace.ChanGen {
-	gens := make([]*trace.ChanGen, threads)
+func (n *Node) Start(threads int, seed int64) []*trace.StepGen {
+	gens := make([]*trace.StepGen, threads)
 	for i := 0; i < threads; i++ {
-		tid := i
 		cfg := workloads.EmitterConfigFor(seed+int64(i)*15731, 0.06)
-		gens[i] = trace.Start(cfg, func(e *trace.Emitter) { n.serve(e, tid, seed+int64(tid)) })
+		gens[i] = trace.NewStepGen(cfg, n.newThread(i, seed+int64(i)))
 	}
 	return gens
 }
 
-func (n *Node) serve(e *trace.Emitter, tid int, seed int64) {
-	rng := rand.New(rand.NewSource(seed))
-	zipfTerm := workloads.NewZipf(rng, 1.01, n.cfg.Terms)
-	conn := n.kern.OpenConnOn(tid)
-	stack := workloads.StackOf(tid)
-	reqBuf := n.heap.AllocLines(4096)
-	respBuf := n.heap.AllocLines(16 << 10)
-	heapAddr := n.heap.AllocLines(uint64(n.cfg.TopK) * 16)
-	queries := 0
+// SaveShared serializes the node's shared mutable state. The index
+// itself is immutable after construction; only the kernel, the heap
+// cursor and the GC cursor move.
+func (n *Node) SaveShared(w *checkpoint.Writer) {
+	w.Tag("websearch.shared")
+	n.kern.SaveState(w)
+	n.heap.SaveState(w)
+	w.U64(n.gcCur.Load())
+}
 
-	for {
+// LoadShared restores state written by SaveShared.
+func (n *Node) LoadShared(rd *checkpoint.Reader) {
+	rd.Expect("websearch.shared")
+	n.kern.LoadState(rd)
+	n.heap.LoadState(rd)
+	n.gcCur.Store(rd.U64())
+}
+
+// qthread is one index-serving thread; each Step emits one query.
+type qthread struct {
+	n        *Node           //simlint:ok checkpointcov shared node, checkpointed via SaveShared
+	tid      int             //simlint:ok checkpointcov construction-time identity
+	rnd      *rng.Rand       // query lengths + term draws
+	zipfTerm *workloads.Zipf //simlint:ok checkpointcov immutable params; draw state lives in rnd
+	conn     *oskern.Conn
+	stack    uint64 //simlint:ok checkpointcov construction-time address
+	reqBuf   uint64 //simlint:ok checkpointcov construction-time address
+	respBuf  uint64 //simlint:ok checkpointcov construction-time address
+	heapAddr uint64 //simlint:ok checkpointcov construction-time address
+	queries  uint64
+}
+
+func (n *Node) newThread(tid int, seed int64) *qthread {
+	r := rng.New(seed)
+	return &qthread{
+		n: n, tid: tid, rnd: r,
+		zipfTerm: workloads.NewZipf(r, 1.01, n.cfg.Terms),
+		conn:     n.kern.OpenConnOn(tid),
+		stack:    workloads.StackOf(tid),
+		reqBuf:   n.heap.AllocLines(4096),
+		respBuf:  n.heap.AllocLines(16 << 10),
+		heapAddr: n.heap.AllocLines(uint64(n.cfg.TopK) * 16),
+	}
+}
+
+// SaveState serializes the thread's resumable state.
+func (t *qthread) SaveState(w *checkpoint.Writer) {
+	w.Tag("websearch.thread")
+	t.rnd.SaveState(w)
+	t.conn.SaveState(w)
+	w.U64(t.queries)
+}
+
+// LoadState restores state written by SaveState.
+func (t *qthread) LoadState(rd *checkpoint.Reader) {
+	rd.Expect("websearch.thread")
+	t.rnd.LoadState(rd)
+	t.conn.LoadState(rd)
+	t.queries = rd.U64()
+}
+
+// Step emits one query.
+func (th *qthread) Step(e *trace.Emitter) bool {
+	n, tid := th.n, th.tid
+	rnd, zipfTerm, conn := th.rnd, th.zipfTerm, th.conn
+	stack, reqBuf, respBuf, heapAddr := th.stack, th.reqBuf, th.respBuf, th.heapAddr
+	queries := int(th.queries)
+
+	{
 		n.kern.Recv(e, conn, reqBuf, 256)
 		e.InFunc(n.fnParse, func() { workloads.GenericWork(e, 220, stack, 3) })
 		n.bank.Exec(e, uint64(queries)*0x9e3779b9+uint64(tid), 20, n.cfg.FrameworkInsts, stack, 3)
 
-		nTerms := 1 + rng.Intn(n.cfg.TermsPerQuery*2-1)
+		nTerms := 1 + rnd.Intn(n.cfg.TermsPerQuery*2-1)
 		var shortest uint64 = 1 << 62
 		terms := make([]uint64, nTerms)
 		for t := range terms {
@@ -241,15 +299,16 @@ func (n *Node) serve(e *trace.Emitter, tid int, seed int64) {
 			workloads.GenericWork(e, 420, stack, 3)
 		})
 		n.kern.Send(e, conn, respBuf, 4<<10)
-
-		queries++
-		if queries%48 == 0 {
-			n.gcQuantum(e)
-		}
-		if queries%200 == 0 {
-			n.kern.SchedTick(e, tid)
-		}
 	}
+
+	th.queries++
+	if th.queries%48 == 0 {
+		n.gcQuantum(e)
+	}
+	if th.queries%200 == 0 {
+		n.kern.SchedTick(e, tid)
+	}
+	return true
 }
 
 // gcQuantum marks a chunk of shared object headers (parallel collector).

@@ -13,9 +13,9 @@
 package workloads
 
 import (
-	"math/rand"
-
 	"cloudsuite/internal/addrspace"
+	"cloudsuite/internal/rng"
+	"cloudsuite/internal/sim/checkpoint"
 	"cloudsuite/internal/trace"
 )
 
@@ -59,8 +59,23 @@ type Workload interface {
 	// Class is the workload's figure grouping.
 	Class() Class
 	// Start launches n software threads and returns their generators.
-	// The caller owns closing them.
-	Start(n int, seed int64) []*trace.ChanGen
+	// The caller owns closing them. Threads are step-driven programs
+	// (trace.Program); construction must be deterministic in (n, seed)
+	// because a checkpoint restore re-runs Start before loading state.
+	Start(n int, seed int64) []*trace.StepGen
+}
+
+// Stateful is implemented by workloads whose shared structures (beyond
+// the per-thread state the generators serialize) can be checkpointed:
+// heaps, memtables, kernel cursors. A workload that is Stateful and
+// whose threads all support SaveState is eligible for live-point
+// (pure-load) warm images.
+type Stateful interface {
+	// SaveShared serializes shared mutable state.
+	SaveShared(w *checkpoint.Writer)
+	// LoadShared restores state written by SaveShared onto a freshly
+	// constructed instance. Callers check the reader's Err.
+	LoadShared(rd *checkpoint.Reader)
 }
 
 // defaultEmitter returns the conventional emitter configuration used by
@@ -160,24 +175,26 @@ func GenericWork(e *trace.Emitter, n int, hot uint64, ilp int) trace.Val {
 }
 
 // Zipf draws keys with the skew the YCSB client uses (Section 3.2).
+// The sampler's parameters are immutable; all mutable draw state lives
+// in the underlying rng.Rand, which the owner checkpoints.
 type Zipf struct {
-	z *rand.Zipf
+	z *rng.Zipf
 }
 
 // NewZipf returns a Zipfian sampler over [0, n) with exponent theta
 // (YCSB uses 0.99). A degenerate key space (n < 2) yields a sampler
-// that always draws key 0: rand.NewZipf's imax parameter (n-1) would
-// underflow to a ~2^64 key range for n == 0.
-func NewZipf(rng *rand.Rand, theta float64, n uint64) *Zipf {
+// that always draws key 0: the imax parameter (n-1) would underflow to
+// a ~2^64 key range for n == 0.
+func NewZipf(r *rng.Rand, theta float64, n uint64) *Zipf {
 	if n < 2 {
 		return &Zipf{}
 	}
 	if theta <= 1.0 {
-		// math/rand requires s > 1; YCSB's 0.99 skew corresponds closely
-		// to s just above 1 for the ranges we use.
+		// The sampler requires s > 1; YCSB's 0.99 skew corresponds
+		// closely to s just above 1 for the ranges we use.
 		theta = 1.001
 	}
-	return &Zipf{z: rand.NewZipf(rng, theta, 1, n-1)}
+	return &Zipf{z: rng.NewZipf(r, theta, n-1)}
 }
 
 // Next draws the next key.
@@ -185,7 +202,7 @@ func (z *Zipf) Next() uint64 {
 	if z.z == nil {
 		return 0
 	}
-	return z.z.Uint64()
+	return z.z.Next()
 }
 
 // StackOf returns a thread's stack base region for hot context data.

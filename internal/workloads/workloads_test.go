@@ -1,8 +1,8 @@
 package workloads
 
 import (
+	"cloudsuite/internal/rng"
 	"math"
-	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -32,7 +32,7 @@ func TestCodeBankFootprint(t *testing.T) {
 	}
 }
 
-func drain(t *testing.T, g *trace.ChanGen, n int) []trace.Inst {
+func drain(t *testing.T, g *trace.StepGen, n int) []trace.Inst {
 	t.Helper()
 	out := make([]trace.Inst, n)
 	got := 0
@@ -49,13 +49,16 @@ func drain(t *testing.T, g *trace.ChanGen, n int) []trace.Inst {
 func TestCodeBankExecEmitsVariedPCs(t *testing.T) {
 	layout := trace.NewCodeLayout(0x400000, 64<<20)
 	b := NewCodeBank(layout, "fw", 64, 500)
-	g := trace.Start(trace.EmitterConfig{Seed: 3}, func(e *trace.Emitter) {
-		main := layout.Func("main", 64)
-		e.Call(main)
-		for req := uint64(0); ; req++ {
-			b.Exec(e, req*2654435761+1, 12, 2000, 0x10000000, 3)
+	main := layout.Func("main", 64)
+	req := uint64(0)
+	g := trace.NewStepGen(trace.EmitterConfig{Seed: 3}, trace.ProgFunc(func(e *trace.Emitter) bool {
+		if req == 0 {
+			e.Call(main)
 		}
-	})
+		b.Exec(e, req*2654435761+1, 12, 2000, 0x10000000, 3)
+		req++
+		return true
+	}))
 	defer g.Close()
 	insts := drain(t, g, 60000)
 	lines := map[uint64]bool{}
@@ -72,12 +75,15 @@ func TestCodeBankExecEmitsVariedPCs(t *testing.T) {
 func TestGenericWorkMix(t *testing.T) {
 	layout := trace.NewCodeLayout(0x400000, 1<<20)
 	fn := layout.Func("w", 512)
-	g := trace.Start(trace.EmitterConfig{Seed: 5}, func(e *trace.Emitter) {
-		e.Call(fn)
-		for {
-			GenericWork(e, 1000, 0x2000_0000, 3)
+	started := false
+	g := trace.NewStepGen(trace.EmitterConfig{Seed: 5}, trace.ProgFunc(func(e *trace.Emitter) bool {
+		if !started {
+			e.Call(fn)
+			started = true
 		}
-	})
+		GenericWork(e, 1000, 0x2000_0000, 3)
+		return true
+	}))
 	defer g.Close()
 	insts := drain(t, g, 20000)
 	var loads, stores, branches int
@@ -105,8 +111,8 @@ func TestGenericWorkMix(t *testing.T) {
 }
 
 func TestZipfIsSkewed(t *testing.T) {
-	rng := rand.New(rand.NewSource(11))
-	z := NewZipf(rng, 0.99, 10000)
+	r := rng.New(11)
+	z := NewZipf(r, 0.99, 10000)
 	counts := map[uint64]int{}
 	const n = 100000
 	for i := 0; i < n; i++ {
@@ -131,8 +137,8 @@ func TestZipfIsSkewed(t *testing.T) {
 func TestQuickZipfRange(t *testing.T) {
 	check := func(seed int64, n uint32) bool {
 		max := uint64(n%10000) + 2
-		rng := rand.New(rand.NewSource(seed))
-		z := NewZipf(rng, 0.99, max)
+		r := rng.New(seed)
+		z := NewZipf(r, 0.99, max)
 		for i := 0; i < 200; i++ {
 			if z.Next() >= max {
 				return false
@@ -149,8 +155,8 @@ func TestQuickZipfRange(t *testing.T) {
 // draw stays at key 0.
 func TestZipfDegenerateKeySpace(t *testing.T) {
 	for _, n := range []uint64{0, 1} {
-		rng := rand.New(rand.NewSource(1))
-		z := NewZipf(rng, 0.99, n)
+		r := rng.New(1)
+		z := NewZipf(r, 0.99, n)
 		for i := 0; i < 100; i++ {
 			if got := z.Next(); got != 0 {
 				t.Fatalf("NewZipf(n=%d).Next() = %d, want 0", n, got)
